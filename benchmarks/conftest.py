@@ -1,0 +1,22 @@
+"""Benchmark harness support: persist every regenerated table/figure."""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(results_dir, name, rendered):
+    """Write a rendered table/figure to benchmarks/results/<name>.txt."""
+    path = os.path.join(results_dir, "%s.txt" % name)
+    with open(path, "w") as handle:
+        handle.write(rendered)
+        handle.write("\n")
+    return path

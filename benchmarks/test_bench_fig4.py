@@ -1,0 +1,62 @@
+"""Benchmark: regenerate Figure 4 — HV vs TBV on EigenBench across shared
+data sizes, version-lock counts and thread counts.
+
+Paper shape: with small shared data HV and TBV are comparable; with large
+shared data TBV needs many more version locks to recover (false conflicts)
+while HV reaches near-optimal performance with few locks, and HV's abort
+rate stays well below TBV's.
+"""
+
+from repro.harness import experiments
+from benchmarks.conftest import save_artifact
+
+
+def test_fig4_hv_vs_tbv(benchmark, results_dir):
+    result = benchmark.pedantic(experiments.fig4, rounds=1, iterations=1)
+    rendered = result.render()
+    save_artifact(results_dir, "fig4", rendered)
+    print("\n" + rendered)
+
+    points = result.points
+    threads = result.thread_counts[-1]
+
+    small_shared = result.shared_sizes[0]
+    large_shared = result.shared_sizes[-1]
+    few_locks = result.lock_sizes[0]
+    many_locks = result.lock_sizes[-1]
+
+    benchmark.extra_info["shared_sizes"] = result.shared_sizes
+    benchmark.extra_info["lock_sizes"] = result.lock_sizes
+
+    # (a) small shared data: HV and TBV comparable (within 30%)
+    hv_small = points[(small_shared, few_locks, threads, "hv")][0]
+    tbv_small = points[(small_shared, few_locks, threads, "tbv")][0]
+    assert abs(hv_small - tbv_small) / max(hv_small, tbv_small) < 0.3
+
+    # (d) large shared data, few locks: HV clearly beats TBV...
+    hv_large = points[(large_shared, few_locks, threads, "hv")]
+    tbv_large = points[(large_shared, few_locks, threads, "tbv")]
+    assert hv_large[0] > tbv_large[0]
+    # ...because TBV's false-conflict abort rate explodes and HV's does not
+    assert tbv_large[1] > hv_large[1]
+    assert hv_large[1] < 0.7 * tbv_large[1]
+
+    # TBV benefits significantly from more locks on large shared data
+    tbv_many = points[(large_shared, many_locks, threads, "tbv")][0]
+    assert tbv_many > 1.5 * tbv_large[0]
+
+    # HV's advantage over TBV is largest where locks are scarce and shrinks
+    # as the lock table grows (the crossover structure of Figure 4)
+    hv_many = points[(large_shared, many_locks, threads, "hv")][0]
+    gap_few = hv_large[0] - tbv_large[0]
+    gap_many = hv_many - tbv_many
+    assert gap_few > gap_many or hv_large[1] < tbv_large[1]
+
+    # at moderate lock counts and thread counts HV is already within
+    # reach of its own many-lock optimum (the paper's "near optimal
+    # performance with [a quarter of the] locks")
+    mid_locks = result.lock_sizes[1]
+    low_threads = result.thread_counts[0]
+    hv_mid = points[(large_shared, mid_locks, low_threads, "hv")][0]
+    hv_best = points[(large_shared, many_locks, low_threads, "hv")][0]
+    assert hv_mid > 0.6 * hv_best

@@ -1,0 +1,65 @@
+"""The adaptive transaction scheduler — the paper's future work, live.
+
+Section 4.2: more threads means more parallelism but also more conflicts
+and aborts, so there is an optimal concurrency level.  This example runs
+the autotuner over the k-means workload (the paper's conflict-bound case),
+shows the concurrency/efficiency tradeoff it measures, and then prints a
+conflict trace digest from the chosen configuration.
+
+Run:  python examples/concurrency_tuning.py
+"""
+
+from repro.gpu import Device, GpuConfig
+from repro.harness.autotune import tune_concurrency
+from repro.stm import StmConfig, make_runtime
+from repro.stm.trace import TxTracer
+from repro.workloads.kmeans import KMeans
+
+
+def km_factory(grid, block):
+    return KMeans(num_points=512, dims=4, k=8, grid=grid, block=block,
+                  compute_factor=40)
+
+
+def main():
+    print("autotuning k-means concurrency (hv-sorting)...")
+    result = tune_concurrency(
+        km_factory,
+        "hv-sorting",
+        GpuConfig(),
+        geometries=[(1, 32), (2, 32), (4, 32), (8, 32), (16, 32)],
+        num_locks=1024,
+    )
+    for step in result.steps:
+        marker = "  <-- chosen" if step is result.best else ""
+        print(
+            "  %3d threads: %9d cycles, %3.0f%% aborts%s"
+            % (step.threads, step.cycles, 100 * step.abort_rate, marker)
+        )
+    print(
+        "the tuner stops climbing when added concurrency costs more in "
+        "aborts than it buys in parallelism"
+    )
+
+    print()
+    print("conflict trace at the chosen geometry:")
+    device = Device(GpuConfig())
+    workload = km_factory(result.best.grid, result.best.block)
+    workload.setup(device)
+    runtime = make_runtime(
+        "hv-sorting",
+        device,
+        StmConfig(num_locks=1024, shared_data_size=workload.shared_data_size),
+    )
+    tracer = TxTracer()
+    runtime.tracer = tracer
+    for spec in workload.kernels():
+        device.launch(
+            spec.kernel, spec.grid, spec.block, args=spec.args, attach=runtime.attach
+        )
+    workload.verify(device, runtime)
+    print(tracer.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Histogramming under contention: naive STM vs. shared-memory privatization.
+
+A classic GPU optimization pattern composed with GPU-STM: instead of one
+transaction per element against the *global* histogram (every increment
+contends), each block first accumulates a private sub-histogram in on-chip
+shared memory — no transactions, no conflicts — and then a single thread
+flushes it with one transaction per touched bin.
+
+Both versions produce the exact same histogram; the privatized one commits
+far fewer transactions and runs substantially faster.
+
+Run:  python examples/histogram.py
+"""
+
+from repro.common.rng import Xorshift32, thread_seed
+from repro.gpu import Device, GpuConfig
+from repro.stm import StmConfig, make_runtime, run_transaction
+
+BINS = 32
+ITEMS_PER_THREAD = 8
+GRID, BLOCK = 8, 32
+SEED = 606
+
+
+def items_of(tid):
+    rng = Xorshift32(thread_seed(SEED, tid))
+    return [rng.randrange(BINS) for _ in range(ITEMS_PER_THREAD)]
+
+
+def naive_kernel(tc, hist):
+    """One transaction per element against the global bins."""
+    for bin_index in items_of(tc.tid):
+
+        def body(stm, bin_index=bin_index):
+            count = yield from stm.tx_read(hist + bin_index)
+            if not stm.is_opaque:
+                return False
+            yield from stm.tx_write(hist + bin_index, count + 1)
+            return True
+
+        yield from run_transaction(tc, body)
+
+
+def privatized_kernel(tc, hist):
+    """Accumulate per block in shared memory; flush once, transactionally.
+
+    Shared-memory updates are warp-serialized (real CUDA code would use
+    atomicAdd on shared memory): lanes of one warp run in lockstep, so two
+    lanes hitting the same bin in the same step would otherwise race.
+    """
+    warp_size = tc.config.warp_size
+    for turn in range(warp_size):
+        if tc.lane_id == turn:
+            for bin_index in items_of(tc.tid):
+                count = tc.smem_read(bin_index)
+                yield
+                tc.smem_write(bin_index, count + 1)
+                yield
+        yield from tc.reconverge(("hist", turn))
+    yield from tc.syncthreads()
+    if tc.tid % BLOCK == 0:
+        for bin_index in range(BINS):
+            count = tc.smem_read(bin_index)
+            yield
+            if count == 0:
+                continue
+
+            def body(stm, bin_index=bin_index, count=count):
+                total = yield from stm.tx_read(hist + bin_index)
+                if not stm.is_opaque:
+                    return False
+                yield from stm.tx_write(hist + bin_index, total + count)
+                return True
+
+            yield from run_transaction(tc, body)
+
+
+def expected_histogram():
+    hist = [0] * BINS
+    for tid in range(GRID * BLOCK):
+        for bin_index in items_of(tid):
+            hist[bin_index] += 1
+    return hist
+
+
+def run(kernel, smem_words):
+    device = Device(GpuConfig())
+    hist = device.mem.alloc(BINS, "hist")
+    runtime = make_runtime(
+        "hv-sorting", device, StmConfig(num_locks=1024, shared_data_size=BINS)
+    )
+    result = device.launch(
+        kernel, GRID, BLOCK, args=(hist,), attach=runtime.attach,
+        smem_words=smem_words,
+    )
+    measured = device.mem.snapshot(hist, BINS)
+    assert measured == expected_histogram(), "histogram mismatch!"
+    return result.cycles, runtime.stats["commits"], runtime.stats["aborts"]
+
+
+def main():
+    total = GRID * BLOCK * ITEMS_PER_THREAD
+    print("histogramming %d items into %d bins" % (total, BINS))
+    naive_cycles, naive_commits, naive_aborts = run(naive_kernel, 0)
+    print(
+        "naive STM        : %9d cycles, %4d txs, %4d aborts"
+        % (naive_cycles, naive_commits, naive_aborts)
+    )
+    priv_cycles, priv_commits, priv_aborts = run(privatized_kernel, BINS)
+    print(
+        "smem-privatized  : %9d cycles, %4d txs, %4d aborts (%.1fx faster)"
+        % (priv_cycles, priv_commits, priv_aborts, naive_cycles / priv_cycles)
+    )
+    print("both histograms verified exact")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Thin setup.py shim.
+
+Allows legacy editable installs (``pip install -e . --no-build-isolation``)
+on offline machines without the ``wheel`` package; all metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""GPU-STM reproduction: Software Transactional Memory for GPU Architectures
+(Xu et al., CGO 2014), on a deterministic SIMT GPU simulator.
+
+Public entry points::
+
+    from repro import Device, GpuConfig, StmConfig, make_runtime, run_transaction
+
+See README.md for the quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.gpu import Device, GpuConfig
+from repro.stm import StmConfig, make_runtime, run_transaction
+from repro.workloads import WORKLOADS, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Device",
+    "GpuConfig",
+    "StmConfig",
+    "WORKLOADS",
+    "make_runtime",
+    "make_workload",
+    "run_transaction",
+    "__version__",
+]

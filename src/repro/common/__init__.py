@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG and statistics containers."""
+
+from repro.common.rng import Xorshift32
+from repro.common.stats import Counters, PhaseCycles
+
+__all__ = ["Xorshift32", "Counters", "PhaseCycles"]

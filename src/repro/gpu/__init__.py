@@ -1,0 +1,40 @@
+"""Deterministic SIMT GPU simulator.
+
+This package is the substrate the paper's evaluation ran on: an NVIDIA Fermi
+C2070 driven through CUDA.  We replace the silicon with a simulator that
+preserves the execution *paradigm* the GPU-STM algorithms interact with:
+
+* **Lockstep warps** — every active lane of a warp performs exactly one
+  globally-visible operation per warp step (``yield`` marks the step
+  boundary), which is what makes intra-warp livelock and the paper's
+  encounter-time lock-sorting fix observable.
+* **Divergence accounting** — lanes of one warp executing different
+  operations in a step are charged as separate instruction issues.
+* **Memory coalescing** — per-step accesses are binned into lines; contiguous
+  lane accesses cost one memory transaction, scattered ones cost many.
+* **Atomic primitives** — CAS / or / inc / add / exch / sub with same-address
+  serialization, matching CUDA's atomics.
+* **A progress watchdog** — bounded step budget that turns livelock and
+  deadlock into a diagnosable :class:`~repro.gpu.errors.ProgressError`.
+
+Kernels are Python generator functions ``kernel(tc, *args)`` where ``tc`` is
+the per-lane :class:`~repro.gpu.thread.ThreadCtx`.
+"""
+
+from repro.gpu.config import GpuConfig
+from repro.gpu.errors import GpuError, ProgressError, LaunchError
+from repro.gpu.events import Phase
+from repro.gpu.kernel import KernelResult
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.scheduler import Device
+
+__all__ = [
+    "Device",
+    "GlobalMemory",
+    "GpuConfig",
+    "GpuError",
+    "KernelResult",
+    "LaunchError",
+    "Phase",
+    "ProgressError",
+]

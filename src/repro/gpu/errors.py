@@ -1,0 +1,27 @@
+"""Exception hierarchy of the GPU simulator."""
+
+
+class GpuError(Exception):
+    """Base class for all simulator errors."""
+
+
+class LaunchError(GpuError):
+    """Invalid kernel launch configuration."""
+
+
+class ProgressError(GpuError):
+    """The watchdog exhausted its step budget without kernel completion.
+
+    This is how the simulator surfaces livelock (e.g. unsorted intra-warp lock
+    acquisition, paper section 2.2) and deadlock (e.g. the spinlock +
+    reconvergence scheme #1 of Algorithm 1).
+    """
+
+    def __init__(self, message, steps=0, snapshot=None):
+        super().__init__(message)
+        self.steps = steps
+        self.snapshot = snapshot or {}
+
+
+class MemoryFault(GpuError):
+    """Out-of-bounds global memory access."""

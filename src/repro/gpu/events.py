@@ -1,0 +1,34 @@
+"""Phase tags and per-step operation records.
+
+Phases follow Figure 5 of the paper: the execution time of a transactional
+kernel decomposes into native-code execution, transaction initialization,
+buffering (read-/write-set logging), consistency checking, acquiring and
+releasing locks, committing, plus all the time spent inside transactions
+that were eventually aborted.
+"""
+
+
+class Phase:
+    """String constants naming the Figure 5 execution phases."""
+
+    NATIVE = "native"
+    INIT = "init"
+    BUFFERING = "buffering"
+    CONSISTENCY = "consistency"
+    LOCKS = "locks"
+    COMMIT = "commit"
+    ABORTED = "aborted"
+
+    ALL = (NATIVE, INIT, BUFFERING, CONSISTENCY, LOCKS, COMMIT, ABORTED)
+
+
+class OpKind:
+    """Operation kinds recorded per warp step for the cost model."""
+
+    READ = "r"
+    WRITE = "w"
+    ATOMIC = "a"
+    FENCE = "f"
+    LOCAL = "l"
+    L2_READ = "c"
+    SMEM = "s"

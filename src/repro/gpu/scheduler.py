@@ -1,0 +1,183 @@
+"""Device scheduler: blocks onto SMs, round-robin warp issue, watchdog.
+
+The scheduling model mirrors how a Fermi-class GPU executes a kernel grid:
+
+* thread blocks are distributed over the streaming multiprocessors and stay
+  resident until all of their warps retire, bounded by the per-SM residency
+  limits (``max_blocks_per_sm`` / ``max_warps_per_sm``);
+* each SM issues its resident warps round-robin, one warp step at a time,
+  accumulating the step costs from the warp cost model;
+* kernel time is the maximum SM time (SMs run in parallel).
+
+A global watchdog bounds the total number of warp steps; livelocked or
+deadlocked kernels — the very failure modes the paper's section 2.2
+catalogues — surface as :class:`~repro.gpu.errors.ProgressError` with a
+diagnostic snapshot instead of hanging the host.
+"""
+
+from collections import deque
+
+from repro.gpu.config import GpuConfig
+from repro.gpu.errors import LaunchError, ProgressError
+from repro.gpu.kernel import KernelResult
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.warp import build_block
+
+
+class _Sm:
+    """One streaming multiprocessor: a queue of blocks and resident warps."""
+
+    __slots__ = ("index", "pending", "resident_warps", "resident_blocks", "cycles", "next_warp")
+
+    def __init__(self, index):
+        self.index = index
+        self.pending = deque()
+        self.resident_warps = []
+        self.resident_blocks = 0
+        self.cycles = 0
+        self.next_warp = 0
+
+    def refill(self, config):
+        """Admit pending blocks while residency limits allow."""
+        while self.pending:
+            block = self.pending[0]
+            if self.resident_blocks >= config.max_blocks_per_sm:
+                break
+            if (
+                self.resident_warps
+                and len(self.resident_warps) + len(block.warps) > config.max_warps_per_sm
+            ):
+                break
+            self.pending.popleft()
+            self.resident_blocks += 1
+            self.resident_warps.extend(block.warps)
+
+    def busy(self):
+        return bool(self.resident_warps or self.pending)
+
+
+class Device:
+    """A simulated GPU: global memory plus a kernel launcher."""
+
+    def __init__(self, config=None):
+        self.config = config or GpuConfig()
+        self.mem = GlobalMemory()
+
+    def launch(self, kernel, grid_blocks, block_threads, args=(), attach=None,
+               smem_words=0):
+        """Run ``kernel`` over ``grid_blocks`` x ``block_threads`` threads.
+
+        ``kernel(tc, *args)`` must be a generator function; ``attach(tc)``,
+        when given, is called for every thread context before its generator
+        is created (TM runtimes use it to install per-thread transaction
+        state as ``tc.stm``).
+
+        Returns a :class:`KernelResult` with the simulated cycle count, the
+        merged phase breakdown and operation counters of all threads.
+        """
+        if grid_blocks < 1 or block_threads < 1:
+            raise LaunchError(
+                "launch geometry must be positive, got grid=%d block=%d"
+                % (grid_blocks, block_threads)
+            )
+        config = self.config
+        blocks = []
+        for index in range(grid_blocks):
+            first_tid = index * block_threads
+            blocks.append(
+                build_block(
+                    index, block_threads, first_tid, self.mem, config, kernel,
+                    args, attach, smem_words=smem_words
+                )
+            )
+
+        sms = [_Sm(i) for i in range(config.num_sms)]
+        for index, block in enumerate(blocks):
+            sms[index % config.num_sms].pending.append(block)
+
+        total_steps = 0
+        total_mem_txns = 0
+        max_steps = config.max_steps
+        active_sms = [sm for sm in sms if sm.busy()]
+        while active_sms:
+            still_active = []
+            for sm in active_sms:
+                sm.refill(config)
+                warps = sm.resident_warps
+                if not warps:
+                    if sm.busy():
+                        still_active.append(sm)
+                    continue
+                if sm.next_warp >= len(warps):
+                    sm.next_warp = 0
+                warp = warps[sm.next_warp]
+                # issue the selected warp for the configured number of
+                # consecutive steps (1 = round robin; larger approximates a
+                # greedy-then-oldest scheduler)
+                for _turn in range(config.warp_steps_per_turn):
+                    cost, finished = warp.step()
+                    sm.cycles += cost
+                    total_mem_txns += warp.step_mem_txns
+                    total_steps += 1
+                    if finished:
+                        block = warp.block
+                        for _ in range(finished):
+                            block.lane_finished()
+                    else:
+                        warp.block.maybe_release_barrier()
+                    if warp.live == 0:
+                        break
+                if warp.live == 0:
+                    warps.pop(sm.next_warp)
+                    if all(w.live == 0 for w in warp.block.warps):
+                        sm.resident_blocks -= 1
+                else:
+                    sm.next_warp += 1
+                if sm.busy():
+                    still_active.append(sm)
+            if total_steps > max_steps:
+                raise ProgressError(
+                    "watchdog: %d warp steps without kernel completion "
+                    "(livelock or deadlock; see snapshot)" % total_steps,
+                    steps=total_steps,
+                    snapshot=self._snapshot(sms),
+                )
+            active_sms = still_active
+
+        return self._collect(kernel, blocks, sms, total_steps, total_mem_txns, config)
+
+    @staticmethod
+    def _snapshot(sms):
+        """Diagnostic state attached to a ProgressError."""
+        live_warps = []
+        for sm in sms:
+            for warp in sm.resident_warps:
+                live_warps.append(
+                    {
+                        "sm": sm.index,
+                        "warp": warp.warp_id,
+                        "live_lanes": warp.live,
+                        "waiting": dict(warp.waiting),
+                    }
+                )
+        return {"live_warps": live_warps}
+
+    @staticmethod
+    def _collect(kernel, blocks, sms, total_steps, total_mem_txns, config):
+        # Roofline: kernel time is bounded below by DRAM throughput — the
+        # SMs cannot collectively retire memory transactions faster than the
+        # memory system serves them.
+        bandwidth_cycles = total_mem_txns * config.costs.dram_txn_cost
+        result = KernelResult(
+            kernel_name=getattr(kernel, "__name__", str(kernel)),
+            cycles=max(max(sm.cycles for sm in sms), bandwidth_cycles),
+            sm_cycles=[sm.cycles for sm in sms],
+            steps=total_steps,
+        )
+        result.mem_txns = total_mem_txns
+        result.bandwidth_cycles = bandwidth_cycles
+        for block in blocks:
+            for warp in block.warps:
+                for tc in warp.lane_ctxs:
+                    result.absorb_thread(tc)
+        return result

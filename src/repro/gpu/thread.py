@@ -1,0 +1,276 @@
+"""Per-lane thread context: the handle a kernel uses to touch the device.
+
+A kernel is a generator function ``kernel(tc, *args)``.  Every globally
+visible operation goes through the :class:`ThreadCtx` methods below and must
+be followed by a ``yield`` — the warp-step boundary.  This is the simulator's
+contract for lockstep SIMT execution: all active lanes of a warp perform
+their step-*k* operations before any lane performs its step-*k+1* operation,
+which is exactly the property that produces the intra-warp livelocks and
+deadlocks of the paper's section 2.2.
+
+The context also performs two kinds of cycle accounting:
+
+* it appends an operation record to the warp's current step buffer, from
+  which the warp computes the throughput cost (divergence groups, coalesced
+  memory transactions, serialized atomics) that drives kernel time; and
+* it charges a per-lane *latency* cost to the current phase, which feeds the
+  paper's Figure 5 single-thread execution-time breakdown.  Costs charged
+  inside a transaction are kept in a window so that, on abort, they can be
+  reclassified to the "aborted" phase like the paper does.
+"""
+
+from repro.common.stats import Counters, PhaseCycles
+from repro.gpu.errors import MemoryFault
+from repro.gpu.events import OpKind, Phase
+
+
+class ThreadCtx:
+    """Execution context of one simulated GPU thread (one warp lane)."""
+
+    __slots__ = (
+        "tid",
+        "lane_id",
+        "warp",
+        "block",
+        "mem",
+        "config",
+        "phase_cycles",
+        "counters",
+        "stm",
+        "ops_in_resume",
+        "cycles_total",
+        "cycles_in_tx",
+        "_tx_window",
+        "_costs",
+        "_check_bounds",
+    )
+
+    def __init__(self, tid, lane_id, warp, block, mem, config):
+        self.tid = tid
+        self.lane_id = lane_id
+        self.warp = warp
+        self.block = block
+        self.mem = mem
+        self.config = config
+        self.phase_cycles = PhaseCycles()
+        self.counters = Counters()
+        self.stm = None  # attached by the TM runtime, if any
+        self.ops_in_resume = 0
+        self.cycles_total = 0
+        self.cycles_in_tx = 0
+        self._tx_window = None
+        self._costs = config.costs
+        self._check_bounds = config.check_bounds
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+    def charge(self, phase, cycles):
+        """Attribute ``cycles`` of lane-latency to ``phase``."""
+        self.phase_cycles.add(phase, cycles)
+        self.cycles_total += cycles
+        window = self._tx_window
+        if window is not None:
+            self.cycles_in_tx += cycles
+            window[phase] = window.get(phase, 0) + cycles
+
+    def tx_window_begin(self):
+        """Start attributing costs to the current transaction attempt."""
+        self._tx_window = {}
+
+    def tx_window_commit(self):
+        """The attempt committed: keep its costs where they were charged."""
+        self._tx_window = None
+
+    def tx_window_abort(self):
+        """The attempt aborted: reclassify its costs to the aborted phase."""
+        window = self._tx_window
+        self._tx_window = None
+        if not window:
+            return
+        total = 0
+        for phase, cycles in window.items():
+            self.phase_cycles.add(phase, -cycles)
+            total += cycles
+        self.phase_cycles.add(Phase.ABORTED, total)
+
+    def _record(self, kind, addr, phase):
+        self.ops_in_resume += 1
+        self.warp.step_ops.append((self.lane_id, kind, addr, phase))
+
+    # ------------------------------------------------------------------
+    # Globally-visible operations (each must be followed by a yield)
+    # ------------------------------------------------------------------
+    def gread(self, addr, phase=Phase.NATIVE):
+        """Global memory read."""
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._record(OpKind.READ, addr, phase)
+        self.charge(phase, self._costs.mem_latency)
+        return self.mem.read(addr)
+
+    def gread_l2(self, addr, phase=Phase.NATIVE):
+        """Global memory read served from the L2 cache.
+
+        Used for the STM's global metadata (version locks, sequence locks,
+        spin polls): the paper keeps global metadata L2-cached (section
+        4.1), so these reads are coherent device-wide but cost an L2 hit
+        rather than a DRAM transaction.
+        """
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._record(OpKind.L2_READ, addr, phase)
+        self.charge(phase, self._costs.l2_read_latency)
+        return self.mem.read(addr)
+
+    def gwrite(self, addr, value, phase=Phase.NATIVE):
+        """Global memory write."""
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._record(OpKind.WRITE, addr, phase)
+        self.charge(phase, self._costs.mem_latency)
+        self.mem.write(addr, value)
+
+    def atomic_cas(self, addr, expected, new, phase=Phase.NATIVE):
+        """Atomic compare-and-swap; returns the old value."""
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._record(OpKind.ATOMIC, addr, phase)
+        self.charge(phase, self._costs.atomic_latency)
+        return self.mem.atomic_cas(addr, expected, new)
+
+    def atomic_or(self, addr, value, phase=Phase.NATIVE):
+        """Atomic bitwise-or; returns the old value (Algorithm 3 line 39)."""
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._record(OpKind.ATOMIC, addr, phase)
+        self.charge(phase, self._costs.atomic_latency)
+        return self.mem.atomic_or(addr, value)
+
+    def atomic_add(self, addr, value, phase=Phase.NATIVE):
+        """Atomic add; returns the old value."""
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._record(OpKind.ATOMIC, addr, phase)
+        self.charge(phase, self._costs.atomic_latency)
+        return self.mem.atomic_add(addr, value)
+
+    def atomic_inc(self, addr, phase=Phase.NATIVE):
+        """Atomic increment; returns the old value (Algorithm 3 line 41)."""
+        return self.atomic_add(addr, 1, phase)
+
+    def atomic_sub(self, addr, value, phase=Phase.NATIVE):
+        """Atomic subtract; returns the old value."""
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._record(OpKind.ATOMIC, addr, phase)
+        self.charge(phase, self._costs.atomic_latency)
+        return self.mem.atomic_sub(addr, value)
+
+    def atomic_exch(self, addr, value, phase=Phase.NATIVE):
+        """Atomic exchange; returns the old value."""
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._record(OpKind.ATOMIC, addr, phase)
+        self.charge(phase, self._costs.atomic_latency)
+        return self.mem.atomic_exch(addr, value)
+
+    def smem_read(self, offset, phase=Phase.NATIVE):
+        """Read a word of the block's on-chip shared memory.
+
+        Shared memory is a per-block scratchpad (CUDA ``__shared__``):
+        near-register latency, no DRAM traffic, but same-bank accesses
+        within one warp instruction serialize (bank conflicts).
+        """
+        smem = self.block.smem
+        if not 0 <= offset < len(smem):
+            raise MemoryFault(
+                "shared-memory offset %d out of bounds (block has %d words; "
+                "pass smem_words= to launch)" % (offset, len(smem))
+            )
+        self._record(OpKind.SMEM, offset, phase)
+        self.charge(phase, self._costs.smem_latency)
+        return smem[offset]
+
+    def smem_write(self, offset, value, phase=Phase.NATIVE):
+        """Write a word of the block's on-chip shared memory."""
+        smem = self.block.smem
+        if not 0 <= offset < len(smem):
+            raise MemoryFault(
+                "shared-memory offset %d out of bounds (block has %d words; "
+                "pass smem_words= to launch)" % (offset, len(smem))
+            )
+        self._record(OpKind.SMEM, offset, phase)
+        self.charge(phase, self._costs.smem_latency)
+        smem[offset] = value
+
+    def fence(self, phase=Phase.NATIVE):
+        """CUDA ``threadfence``: ordering is implicit in the simulator's
+        sequentially-consistent interleaving, but the cost is still charged so
+        the overhead breakdown accounts for it."""
+        self._record(OpKind.FENCE, -1, phase)
+        self.charge(phase, self._costs.fence_latency)
+
+    def extra_cost(self, cycles, phase=Phase.BUFFERING):
+        """Charge ``cycles`` that *sum* across lanes in the warp-step cost.
+
+        Unlike :meth:`work` (parallel ALU, max across lanes), this models
+        serialized per-lane overhead such as scattered (uncoalesced) metadata
+        traffic: every lane's contribution adds to the step cost.
+        """
+        self.charge(phase, cycles)
+        self.warp.step_extra += cycles
+
+    def scattered_meta_ops(self, count=1, phase=Phase.BUFFERING):
+        """``count`` uncoalesced metadata accesses: each one is a full
+        memory transaction (latency, SM occupancy, and DRAM bandwidth).
+
+        This is what transaction bookkeeping costs *without* the paper's
+        coalesced read-/write-set organization — the ablation's other arm.
+        """
+        costs = self._costs
+        self.charge(phase, costs.mem_latency * count)
+        self.warp.step_extra += costs.mem_txn_cost * count
+        self.warp.step_mem_txns += count
+
+    def local_op(self, phase=Phase.BUFFERING, count=1):
+        """Charge ``count`` local-metadata operations (read-/write-set
+        bookkeeping).  Local metadata is cached (paper section 4.1), so this
+        does not create a memory transaction record, only cheap cycles."""
+        self.charge(phase, self._costs.local_meta_cost * count)
+
+    def work(self, cycles, phase=Phase.NATIVE):
+        """Model ``cycles`` of native (non-memory) computation.
+
+        Lanes of one warp compute in parallel, so the warp-step cost is the
+        maximum across lanes, while each lane's own breakdown is charged the
+        full amount.
+        """
+        self.charge(phase, cycles)
+        if cycles > self.warp.step_work:
+            self.warp.step_work = cycles
+
+    # ------------------------------------------------------------------
+    # Warp/block coordination
+    # ------------------------------------------------------------------
+    def reconverge(self, label):
+        """Wait until every unfinished lane of this warp reaches ``label``.
+
+        Models the SIMT reconvergence point after divergent control flow.  A
+        lane that never reaches the point (e.g. a spinning loser of the
+        Algorithm 1 scheme #1 spinlock) deadlocks the warp, which the
+        watchdog turns into a ProgressError.
+        """
+        warp = self.warp
+        generation = warp.reconv_gen
+        warp.waiting[self.lane_id] = label
+        while warp.reconv_gen == generation:
+            yield
+
+    def syncthreads(self):
+        """Block-wide barrier (CUDA ``__syncthreads``)."""
+        block = self.block
+        generation = block.barrier_gen
+        block.barrier_waiting += 1
+        while block.barrier_gen == generation:
+            yield

@@ -1,0 +1,240 @@
+"""Lockstep warp execution and the per-step cost model.
+
+A :class:`Warp` owns up to ``warp_size`` lanes, each a Python generator
+created from the kernel function.  One call to :meth:`Warp.step` resumes
+every active lane exactly once — the simulator's definition of a SIMT warp
+step.  Because each lane performs at most one globally-visible operation per
+resumption (enforced under ``strict_lockstep``), all step-*k* operations of a
+warp happen before any step-*k+1* operation, giving faithful lockstep
+semantics: two lanes acquiring locks in reverse orders really do fail
+simultaneously, which is the livelock the paper's encounter-time lock-sorting
+eliminates.
+
+After resuming the lanes, the warp folds the step's operation records into a
+throughput cost (DESIGN.md section 4):
+
+* records are grouped by (operation kind, phase) — distinct groups model
+  divergent instructions and each costs one instruction issue;
+* read/write groups additionally cost one memory transaction per touched
+  ``line_words``-sized line (the coalescing model);
+* atomic groups serialize on same-address contention;
+* fences and native compute have flat costs.
+"""
+
+from repro.gpu.errors import GpuError
+from repro.gpu.events import OpKind
+from repro.gpu.thread import ThreadCtx
+
+
+class Lane:
+    """One SIMT lane: a kernel generator plus its thread context."""
+
+    __slots__ = ("gen", "tc", "done")
+
+    def __init__(self, gen, tc):
+        self.gen = gen
+        self.tc = tc
+        self.done = False
+
+
+class Warp:
+    """A lockstep group of lanes."""
+
+    __slots__ = (
+        "warp_id",
+        "block",
+        "config",
+        "lanes",
+        "live",
+        "step_ops",
+        "step_work",
+        "step_extra",
+        "step_mem_txns",
+        "waiting",
+        "reconv_gen",
+        "shared",
+        "steps",
+    )
+
+    def __init__(self, warp_id, block, config):
+        self.warp_id = warp_id
+        self.block = block
+        self.config = config
+        self.lanes = []
+        self.live = 0
+        self.step_ops = []
+        self.step_work = 0
+        self.step_extra = 0
+        self.step_mem_txns = 0
+        self.waiting = {}
+        self.reconv_gen = 0
+        self.shared = {}
+        self.steps = 0
+
+    def add_lane(self, gen, tc):
+        """Register a lane; called by the device during launch."""
+        self.lanes.append(Lane(gen, tc))
+        self.live += 1
+
+    @property
+    def lane_ctxs(self):
+        """Thread contexts of all lanes (used by warp-level runtimes)."""
+        return [lane.tc for lane in self.lanes]
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self):
+        """Resume every active lane once; return the step's throughput cost."""
+        self.step_ops.clear()
+        self.step_work = 0
+        self.step_extra = 0
+        self.step_mem_txns = 0
+        compute_lanes = 0
+        strict = self.config.strict_lockstep
+        finished = 0
+        for lane in self.lanes:
+            if lane.done:
+                continue
+            tc = lane.tc
+            tc.ops_in_resume = 0
+            exited = False
+            try:
+                next(lane.gen)
+            except StopIteration:
+                lane.done = True
+                exited = True
+                self.live -= 1
+                finished += 1
+                self.waiting.pop(tc.lane_id, None)
+            if strict and tc.ops_in_resume > 1:
+                raise GpuError(
+                    "lane %d of warp %d performed %d globally-visible "
+                    "operations in one step; lockstep kernels must yield "
+                    "after each operation"
+                    % (tc.lane_id, self.warp_id, tc.ops_in_resume)
+                )
+            if tc.ops_in_resume == 0 and not exited:
+                # The final StopIteration resumption is a simulator artifact,
+                # not an instruction; only live op-less resumptions count as
+                # compute issues.
+                compute_lanes += 1
+        self._maybe_reconverge()
+        self.steps += 1
+        return self._step_cost(compute_lanes), finished
+
+    def _maybe_reconverge(self):
+        """Release a reconvergence point once all live lanes reached it."""
+        waiting = self.waiting
+        if not waiting or len(waiting) < self.live:
+            return
+        labels = set(waiting.values())
+        if len(labels) == 1:
+            self.reconv_gen += 1
+            waiting.clear()
+
+    def _step_cost(self, compute_lanes):
+        """Fold this step's operation records into cycles."""
+        costs = self.config.costs
+        line_words = self.config.line_words
+        cost = self.step_work + self.step_extra
+        if compute_lanes and not self.step_ops and not self.step_work and not self.step_extra:
+            # A pure bookkeeping step still occupies an issue slot.
+            cost += costs.issue_cost
+        if not self.step_ops:
+            return cost
+        groups = {}
+        for _lane, kind, addr, phase in self.step_ops:
+            groups.setdefault((kind, phase), []).append(addr)
+        for (kind, _phase), addrs in groups.items():
+            cost += costs.issue_cost
+            if kind == OpKind.READ or kind == OpKind.WRITE:
+                lines = {addr // line_words for addr in addrs}
+                # first line pays full latency; the rest pipeline behind it
+                cost += costs.mem_txn_cost
+                cost += costs.mem_pipeline_cost * (len(lines) - 1)
+                self.step_mem_txns += len(lines)
+            elif kind == OpKind.ATOMIC:
+                multiplicity = {}
+                for addr in addrs:
+                    multiplicity[addr] = multiplicity.get(addr, 0) + 1
+                cost += costs.atomic_cost * max(multiplicity.values())
+                self.step_mem_txns += len(multiplicity)
+            elif kind == OpKind.L2_READ:
+                # L2 hit: flat cost per instruction, no DRAM transaction
+                cost += costs.l2_read_cost
+            elif kind == OpKind.SMEM:
+                # bank conflicts: same-bank accesses in one instruction
+                # serialize; conflict-free warps pay one shared-memory cycle
+                banks = self.config.smem_banks
+                per_bank = {}
+                for addr in addrs:
+                    bank = addr % banks
+                    per_bank[bank] = per_bank.get(bank, 0) + 1
+                cost += costs.smem_cost * max(per_bank.values())
+            elif kind == OpKind.FENCE:
+                cost += costs.fence_cost
+        return cost
+
+
+class BlockState:
+    """Shared state of one thread block: its warps, barrier, scratch dict."""
+
+    __slots__ = (
+        "index",
+        "warps",
+        "block_threads",
+        "live_lanes",
+        "barrier_gen",
+        "barrier_waiting",
+        "shared",
+        "smem",
+    )
+
+    def __init__(self, index, block_threads=0, smem_words=0):
+        self.index = index
+        self.warps = []
+        self.block_threads = block_threads
+        self.live_lanes = 0
+        self.barrier_gen = 0
+        self.barrier_waiting = 0
+        self.shared = {}
+        # on-chip shared memory (CUDA __shared__), sized at launch
+        self.smem = [0] * smem_words
+
+    def maybe_release_barrier(self):
+        """Open the block barrier once every live lane arrived."""
+        if self.live_lanes and self.barrier_waiting >= self.live_lanes:
+            self.barrier_gen += 1
+            self.barrier_waiting = 0
+
+    def lane_finished(self):
+        """Bookkeeping when a lane of this block retires."""
+        self.live_lanes -= 1
+        self.maybe_release_barrier()
+
+
+def build_block(index, block_threads, first_tid, mem, config, kernel, args, attach,
+                smem_words=0):
+    """Construct the warps and lane generators of one thread block."""
+    block = BlockState(index, block_threads, smem_words)
+    warp_size = config.warp_size
+    num_warps = (block_threads + warp_size - 1) // warp_size
+    for warp_idx in range(num_warps):
+        warp = Warp(index * num_warps + warp_idx, block, config)
+        lanes_in_warp = min(warp_size, block_threads - warp_idx * warp_size)
+        for lane_id in range(lanes_in_warp):
+            tid = first_tid + warp_idx * warp_size + lane_id
+            tc = ThreadCtx(tid, lane_id, warp, block, mem, config)
+            if attach is not None:
+                attach(tc)
+            gen = kernel(tc, *args)
+            if not hasattr(gen, "send"):
+                raise GpuError(
+                    "kernel %r is not a generator function; kernels must "
+                    "yield at warp-step boundaries" % getattr(kernel, "__name__", kernel)
+                )
+            warp.add_lane(gen, tc)
+        block.warps.append(warp)
+        block.live_lanes += lanes_in_warp
+    return block

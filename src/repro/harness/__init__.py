@@ -1,0 +1,7 @@
+"""Evaluation harness: runs workload x runtime combinations and regenerates
+every table and figure of the paper's evaluation section (see DESIGN.md's
+experiment index)."""
+
+from repro.harness.runner import RunResult, run_workload
+
+__all__ = ["RunResult", "run_workload"]

@@ -1,0 +1,52 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro.harness table1 [--quick]
+    python -m repro.harness fig2 [--quick]
+    python -m repro.harness fig3 [--quick]
+    python -m repro.harness fig4 [--quick]
+    python -m repro.harness fig5 [--quick]
+    python -m repro.harness table2 [--quick]
+    python -m repro.harness all --quick
+"""
+
+import argparse
+import sys
+import time
+
+from repro.harness import experiments
+
+TARGETS = {
+    "table1": experiments.table1,
+    "fig2": experiments.fig2,
+    "fig3": experiments.fig3,
+    "fig4": experiments.fig4,
+    "fig5": experiments.fig5,
+    "table2": experiments.table2,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument("target", choices=sorted(TARGETS) + ["all"])
+    parser.add_argument(
+        "--quick", action="store_true", help="scaled-down geometry for a fast pass"
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(TARGETS) if args.target == "all" else [args.target]
+    for name in names:
+        started = time.time()
+        result = TARGETS[name](quick=args.quick)
+        print(result.render())
+        print("[%s regenerated in %.1fs]" % (name, time.time() - started))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

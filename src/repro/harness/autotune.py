@@ -1,0 +1,97 @@
+"""Concurrency autotuning: the paper's proposed transaction scheduler.
+
+Section 4.2: "the increasing number of threads can result in more conflicts
+among transactions thus higher abort rates.  This is a tradeoff between
+concurrency and efficiency, and this tradeoff encourages identifying the
+optimal number of concurrent threads.  Therefore, a transaction scheduler
+that dynamically adjusts concurrency would simplify the optimization of
+GPU-STM programs.  We leave this adaptive transactional scheduler as our
+future work."
+
+This module prototypes that scheduler as an offline autotuner: it runs a
+workload at a ladder of launch geometries (total work held constant), walks
+up while performance improves, and stops as soon as added concurrency costs
+more in aborts than it buys in parallelism — returning the chosen geometry
+and the evidence trail.
+"""
+
+from repro.harness.runner import run_workload
+
+
+class TuneStep:
+    """One probed geometry and what it measured."""
+
+    __slots__ = ("grid", "block", "cycles", "abort_rate")
+
+    def __init__(self, grid, block, cycles, abort_rate):
+        self.grid = grid
+        self.block = block
+        self.cycles = cycles
+        self.abort_rate = abort_rate
+
+    @property
+    def threads(self):
+        return self.grid * self.block
+
+    def __repr__(self):
+        return "TuneStep(%dx%d: %d cycles, %.0f%% aborts)" % (
+            self.grid,
+            self.block,
+            self.cycles,
+            100 * self.abort_rate,
+        )
+
+
+class TuneResult:
+    """Outcome of one autotuning session."""
+
+    def __init__(self, steps, best):
+        self.steps = steps
+        self.best = best
+
+    def __repr__(self):
+        return "TuneResult(best=%r, probed=%d)" % (self.best, len(self.steps))
+
+
+def tune_concurrency(
+    workload_factory,
+    variant,
+    gpu_config,
+    geometries,
+    num_locks=1024,
+    stm_overrides=None,
+    patience=1,
+):
+    """Find the launch geometry where ``variant`` performs best.
+
+    ``workload_factory(grid, block)`` builds a fresh workload instance with
+    the *same total transactional work* at the given geometry.
+    ``geometries`` is an ascending ladder of (grid, block) pairs.  The
+    tuner climbs while cycles improve and stops after ``patience``
+    consecutive regressions — the concurrency/efficiency tradeoff point.
+    Returns a :class:`TuneResult`.
+    """
+    if not geometries:
+        raise ValueError("geometries must be non-empty")
+    steps = []
+    best = None
+    regressions = 0
+    for grid, block in geometries:
+        workload = workload_factory(grid, block)
+        run = run_workload(
+            workload,
+            variant,
+            gpu_config,
+            num_locks=num_locks,
+            stm_overrides=stm_overrides,
+        )
+        step = TuneStep(grid, block, run.cycles, run.abort_rate)
+        steps.append(step)
+        if best is None or step.cycles < best.cycles:
+            best = step
+            regressions = 0
+        else:
+            regressions += 1
+            if regressions > patience:
+                break
+    return TuneResult(steps, best)

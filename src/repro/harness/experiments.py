@@ -1,0 +1,535 @@
+"""Per-figure / per-table experiment drivers (DESIGN.md experiment index).
+
+Every public function regenerates one evaluation artifact of the paper and
+returns a plain-data result object with a ``render()`` method producing the
+ASCII table the benchmark harness prints.  Scaled geometries are documented
+in :mod:`repro.harness.configs`; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from repro.gpu.events import Phase
+from repro.harness import configs
+from repro.harness.report import render_breakdown, render_series, render_table
+from repro.harness.runner import run_workload
+from repro.workloads import make_workload
+
+FIG2_WORKLOADS = ("ra", "ht", "gn", "lb", "km")
+FIG2_VARIANTS = (
+    "egpgv",
+    "vbv",
+    "tbv-sorting",
+    "hv-backoff",
+    "hv-sorting",
+    "optimized",
+)
+
+
+def _scaled(params, factor):
+    """Shrink a workload geometry for quick runs."""
+    scaled = dict(params)
+    for key in ("grid", "grid_blocks", "match_grid"):
+        if key in scaled:
+            scaled[key] = max(1, scaled[key] // factor)
+    if "num_points" in scaled:
+        scaled["num_points"] = max(32, scaled["num_points"] // factor)
+    return scaled
+
+
+def _params(name, quick):
+    params = configs.bench_workload_params(name)
+    return _scaled(params, 4) if quick else params
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — overall speedup over CGL
+# ----------------------------------------------------------------------
+class Fig2Result:
+    def __init__(self):
+        self.speedups = {}  # workload -> {variant: speedup or None (crash)}
+        self.cycles = {}
+
+    def render(self):
+        headers = ["workload"] + list(FIG2_VARIANTS)
+        rows = []
+        for workload in FIG2_WORKLOADS:
+            row = [workload]
+            for variant in FIG2_VARIANTS:
+                value = self.speedups[workload].get(variant)
+                row.append("crash" if value is None else "%.2fx" % value)
+            rows.append(row)
+        return render_table(
+            "Figure 2: STM speedup over coarse-grained locking (CGL)",
+            headers,
+            rows,
+            note="paper shape: optimized fastest-or-tied; VBV poor at scale; "
+            "EGPGV constrained; KM does not benefit",
+        )
+
+
+def fig2(quick=False):
+    """Speedup of every STM variant over CGL on the five workloads."""
+    result = Fig2Result()
+    for name in FIG2_WORKLOADS:
+        result.speedups[name] = {}
+        result.cycles[name] = {}
+        baseline = run_workload(
+            make_workload(name, **_params(name, quick)),
+            "cgl",
+            configs.bench_gpu(),
+            num_locks=configs.DEFAULT_NUM_LOCKS,
+        )
+        result.cycles[name]["cgl"] = baseline.cycles
+        for variant in FIG2_VARIANTS:
+            if variant == "egpgv":
+                # EGPGV runs the same total work at its maximum supported
+                # concurrency (4 blocks of statically-sized metadata).
+                params = configs.egpgv_workload_params(name)
+                if quick:
+                    params = _scaled(params, 4)
+            else:
+                params = _params(name, quick)
+            run = run_workload(
+                make_workload(name, **params),
+                variant,
+                configs.bench_gpu(),
+                num_locks=configs.DEFAULT_NUM_LOCKS,
+                stm_overrides=configs.egpgv_capacity(),
+                allow_crash=True,
+            )
+            if run.crashed:
+                result.speedups[name][variant] = None
+            else:
+                result.cycles[name][variant] = run.cycles
+                result.speedups[name][variant] = baseline.cycles / run.cycles
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — scalability with thread count
+# ----------------------------------------------------------------------
+class Fig3Result:
+    def __init__(self, workload, thread_counts):
+        self.workload = workload
+        self.thread_counts = thread_counts
+        self.cycles = {}  # variant -> [cycles or None per thread count]
+
+    def normalized(self, variant):
+        """Throughput speedup relative to the variant's smallest geometry."""
+        series = self.cycles[variant]
+        base = next((c for c in series if c), None)
+        return [None if c is None else base / c for c in series]
+
+    def render(self):
+        series = {v: self.normalized(v) for v in self.cycles}
+        return render_series(
+            "Figure 3: scalability on %s (speedup vs own %d-thread run)"
+            % (self.workload, self.thread_counts[0]),
+            "threads",
+            self.thread_counts,
+            series,
+        )
+
+
+FIG3_VARIANTS = ("egpgv", "vbv", "tbv-sorting", "hv-backoff", "hv-sorting", "optimized")
+
+
+def fig3(workload_name="ra", thread_counts=(8, 32, 128, 512, 2048), total_txs=2048,
+         quick=False):
+    """Fixed total work split over a swept number of threads.
+
+    Reproduces: EGPGV crashes early (static per-block metadata), VBV
+    flattens (single sequence lock), the lock-table variants scale.
+    """
+    if quick:
+        thread_counts = thread_counts[:3]
+        total_txs = total_txs // 4
+    result = Fig3Result(workload_name, list(thread_counts))
+    for variant in FIG3_VARIANTS:
+        series = []
+        for threads in thread_counts:
+            block = min(32, threads)
+            grid = max(1, threads // block)
+            txs_per_thread = max(1, total_txs // (grid * block))
+            params = configs.bench_workload_params(workload_name)
+            params.update(grid=grid, block=block, txs_per_thread=txs_per_thread)
+            run = run_workload(
+                make_workload(workload_name, **params),
+                variant,
+                configs.bench_gpu(),
+                num_locks=configs.DEFAULT_NUM_LOCKS,
+                stm_overrides=configs.egpgv_capacity(),
+                allow_crash=True,
+            )
+            series.append(None if run.crashed else run.cycles)
+        result.cycles[variant] = series
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — HV vs TBV under swept shared data / lock counts
+# ----------------------------------------------------------------------
+class Fig4Result:
+    def __init__(self, shared_sizes, lock_sizes, thread_counts):
+        self.shared_sizes = shared_sizes
+        self.lock_sizes = lock_sizes
+        self.thread_counts = thread_counts
+        # (shared, locks, threads, scheme) -> (speedup_vs_cgl, abort_rate)
+        self.points = {}
+
+    def render(self):
+        out = []
+        for shared in self.shared_sizes:
+            rows = []
+            for locks in self.lock_sizes:
+                for threads in self.thread_counts:
+                    hv = self.points[(shared, locks, threads, "hv")]
+                    tbv = self.points[(shared, locks, threads, "tbv")]
+                    rows.append(
+                        [
+                            locks,
+                            threads,
+                            "%.2fx" % hv[0],
+                            "%.2fx" % tbv[0],
+                            "%.0f%%" % (100 * hv[1]),
+                            "%.0f%%" % (100 * tbv[1]),
+                        ]
+                    )
+            out.append(
+                render_table(
+                    "Figure 4(%s): EigenBench, shared data = %d words"
+                    % (chr(ord('a') + self.shared_sizes.index(shared)), shared),
+                    ["locks", "threads", "HV speedup", "TBV speedup",
+                     "HV abort", "TBV abort"],
+                    rows,
+                )
+            )
+        return "\n\n".join(out)
+
+
+def fig4(
+    shared_sizes=(1024, 4096, 16384, 65536),
+    lock_sizes=(1024, 4096, 16384),
+    thread_counts=(256, 1024),
+    quick=False,
+):
+    """EigenBench sweep: HV vs TBV across shared-data and lock-table sizes.
+
+    Paper shape: comparable when shared <= locks; when shared data is large,
+    TBV needs many locks to recover while HV reaches near-optimal speed with
+    few locks, and HV's abort rate stays far below TBV's.
+    """
+    if quick:
+        shared_sizes = shared_sizes[:2]
+        lock_sizes = lock_sizes[:2]
+        thread_counts = thread_counts[:1]
+    result = Fig4Result(list(shared_sizes), list(lock_sizes), list(thread_counts))
+    block = 32
+    for shared in shared_sizes:
+        for threads in thread_counts:
+            grid = max(1, threads // block)
+            params = dict(
+                hot_size=shared, grid=grid, block=block,
+                txs_per_thread=2, reads_per_tx=4, writes_per_tx=2,
+            )
+            baseline = run_workload(
+                make_workload("eb", **params),
+                "cgl",
+                configs.bench_gpu(),
+                num_locks=configs.DEFAULT_NUM_LOCKS,
+            )
+            for locks in lock_sizes:
+                for scheme, variant in (("hv", "hv-sorting"), ("tbv", "tbv-sorting")):
+                    run = run_workload(
+                        make_workload("eb", **params),
+                        variant,
+                        configs.bench_gpu(),
+                        num_locks=locks,
+                    )
+                    result.points[(shared, locks, threads, scheme)] = (
+                        baseline.cycles / run.cycles,
+                        run.abort_rate,
+                    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — single-thread execution time breakdown
+# ----------------------------------------------------------------------
+FIG5_PHASES = (
+    Phase.NATIVE,
+    Phase.INIT,
+    Phase.BUFFERING,
+    Phase.CONSISTENCY,
+    Phase.LOCKS,
+    Phase.COMMIT,
+    Phase.ABORTED,
+)
+
+
+class Fig5Result:
+    def __init__(self):
+        self.rows = []  # (kernel label, {phase: fraction})
+
+    def render(self):
+        return render_breakdown(
+            "Figure 5: execution time breakdown under STM-Optimized",
+            FIG5_PHASES,
+            self.rows,
+        )
+
+
+def fig5(quick=False):
+    """Phase breakdown of GN-1, GN-2, LB and KM under STM-Optimized.
+
+    Paper shape: GN-2 dominated by STM overhead (init/buffering); LB and KM
+    carry large buffering shares (big read-/write-sets); LB has the largest
+    native share (BFS planning); KM burns a visible share in aborted
+    transactions.
+    """
+    result = Fig5Result()
+
+    def breakdown_of(kernel_result):
+        return kernel_result.phases.fractions()
+
+    gn = make_workload("gn", **_params("gn", quick))
+    run = run_workload(gn, "optimized", configs.bench_gpu(),
+                       num_locks=configs.DEFAULT_NUM_LOCKS)
+    result.rows.append(("GN-1", breakdown_of(run.kernel_results[0])))
+    result.rows.append(("GN-2", breakdown_of(run.kernel_results[1])))
+    for name, label in (("lb", "LB"), ("km", "KM")):
+        workload = make_workload(name, **_params(name, quick))
+        run = run_workload(workload, "optimized", configs.bench_gpu(),
+                           num_locks=configs.DEFAULT_NUM_LOCKS)
+        result.rows.append((label, breakdown_of(run.kernel_results[0])))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 1 — workload characteristics
+# ----------------------------------------------------------------------
+class Table1Result:
+    def __init__(self):
+        self.rows = []  # dicts
+
+    def render(self):
+        headers = [
+            "workload", "kernel", "shared data", "RD/TX", "WR/TX",
+            "TX/kernel", "TX time", "conflicts",
+        ]
+        rows = [
+            [
+                r["workload"], r["kernel"], r["shared"],
+                "%.1f" % r["rd_tx"], "%.1f" % r["wr_tx"],
+                r["tx_per_kernel"], "%.0f%%" % (100 * r["tx_time"]),
+                "%.0f%%" % (100 * r["conflicts"]),
+            ]
+            for r in self.rows
+        ]
+        return render_table(
+            "Table 1: transactional characteristics (measured)", headers, rows
+        )
+
+
+def table1(quick=False):
+    """Measure the Table 1 columns for every workload under hv-sorting."""
+    result = Table1Result()
+    for name in ("ra", "ht", "eb", "lb", "gn", "km"):
+        workload = make_workload(name, **_params(name, quick))
+        run = run_workload(
+            workload, "hv-sorting", configs.bench_gpu(),
+            num_locks=configs.DEFAULT_NUM_LOCKS,
+        )
+        attempts = run.stats.get("begins", run.commits)
+        for index, kernel_result in enumerate(run.kernel_results):
+            label = "%s-%d" % (name, index + 1) if len(run.kernel_results) > 1 else name
+            counters = kernel_result.counters
+            result.rows.append(
+                dict(
+                    workload=name,
+                    kernel=label,
+                    shared=workload.shared_data_size,
+                    rd_tx=run.stats.get("tx_reads", 0) / max(attempts, 1),
+                    wr_tx=run.stats.get("tx_writes", 0) / max(attempts, 1),
+                    tx_per_kernel=run.commits,
+                    tx_time=kernel_result.tx_time_fraction(),
+                    conflicts=run.abort_rate,
+                )
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 2 — launch configurations at STM-Optimized's optimum
+# ----------------------------------------------------------------------
+class Table2Result:
+    def __init__(self):
+        self.rows = []  # (workload, best_grid, best_block, cycles)
+
+    def render(self):
+        return render_table(
+            "Table 2: launch configuration where STM-Optimized is fastest",
+            ["workload", "thread-blocks", "threads/block", "cycles"],
+            [[w, g, b, c] for w, g, b, c in self.rows],
+        )
+
+
+# ----------------------------------------------------------------------
+# Ablations — the design choices of sections 3.1/4.2, isolated
+# ----------------------------------------------------------------------
+class AblationResult:
+    def __init__(self):
+        self.sorting = {}       # livelock study
+        self.locklog = {}       # hashed vs flat lock-log comparisons
+        self.coalescing = {}    # coalesced vs scattered log cycles
+        self.lock_attempts = {} # abort threshold sweep
+        self.scheduler = {}     # warp-scheduling policy sensitivity
+
+    def render(self):
+        rows = []
+        rows.append(["lock-sorting off (crossed orders)",
+                     "LIVELOCK (watchdog)" if self.sorting["unsorted_livelocks"] else "?"])
+        rows.append(["lock-sorting on (same workload)",
+                     "%d commits" % self.sorting["sorted_commits"]])
+        rows.append(["lock-log: flat sorted list",
+                     "%d comparisons" % self.locklog["flat_comparisons"]])
+        rows.append(["lock-log: order-preserving hash",
+                     "%d comparisons (%.1fx fewer)"
+                     % (self.locklog["hashed_comparisons"], self.locklog["ratio"])])
+        rows.append(["coalesced read-/write-set logs",
+                     "%d cycles" % self.coalescing["coalesced_cycles"]])
+        rows.append(["scattered logs",
+                     "%d cycles (%.2fx slower)"
+                     % (self.coalescing["scattered_cycles"], self.coalescing["ratio"])])
+        for attempts, (cycles, abort_rate) in sorted(self.lock_attempts.items()):
+            rows.append(["max lock attempts = %d" % attempts,
+                         "%d cycles, %.0f%% aborts" % (cycles, 100 * abort_rate)])
+        for turn, (cycles, abort_rate) in sorted(self.scheduler.items()):
+            rows.append(["warp scheduler: %d-step turns" % turn,
+                         "%d cycles, %.0f%% aborts" % (cycles, 100 * abort_rate)])
+        return render_table(
+            "Ablations: encounter-time sorting, hashed lock-log, coalesced "
+            "logs, lock-attempt threshold",
+            ["design point", "outcome"],
+            rows,
+        )
+
+
+def ablations(quick=False):
+    """Isolate the paper's design decisions one at a time."""
+    from repro.gpu import Device, ProgressError
+    from repro.gpu.config import GpuConfig
+    from repro.stm import StmConfig, make_runtime
+    from repro.stm.runtime.unsorted import (
+        UnsortedNoBackoffRuntime,
+        crossed_order_kernel,
+    )
+
+    result = AblationResult()
+
+    # 1) encounter-time lock-sorting vs none (livelock freedom)
+    def crossed(device):
+        data = device.mem.alloc(8, "data")
+        return data
+
+    device = Device(GpuConfig(warp_size=2, num_sms=1, max_steps=40_000))
+    data = crossed(device)
+    runtime = UnsortedNoBackoffRuntime(device, num_locks=8)
+    try:
+        device.launch(crossed_order_kernel(data, 1), 1, 2, attach=runtime.attach)
+        result.sorting["unsorted_livelocks"] = False
+    except ProgressError:
+        result.sorting["unsorted_livelocks"] = True
+    device = Device(GpuConfig(warp_size=2, num_sms=1, max_steps=40_000))
+    data = crossed(device)
+    runtime = make_runtime("hv-sorting", device, StmConfig(num_locks=8))
+    device.launch(crossed_order_kernel(data, 1), 1, 2, attach=runtime.attach)
+    result.sorting["sorted_commits"] = runtime.stats["commits"]
+
+    # 2) hashed vs flat lock-log (sorted-insertion comparisons)
+    ra_params = _params("ra", quick=True)
+    for label, buckets in (("flat", 1), ("hashed", 16)):
+        run = run_workload(
+            make_workload("ra", **ra_params),
+            "hv-sorting",
+            configs.bench_gpu(),
+            num_locks=configs.DEFAULT_NUM_LOCKS,
+            stm_overrides=dict(lock_log_buckets=buckets),
+            verify=False,
+        )
+        result.locklog["%s_comparisons" % label] = run.stats.get(
+            "locklog_comparisons", 0
+        )
+    flat = max(result.locklog["flat_comparisons"], 1)
+    hashed = max(result.locklog["hashed_comparisons"], 1)
+    result.locklog["ratio"] = flat / hashed
+
+    # 3) coalesced vs scattered read-/write-set organization
+    for label, coalesced in (("coalesced", True), ("scattered", False)):
+        run = run_workload(
+            make_workload("ra", **ra_params),
+            "hv-sorting",
+            configs.bench_gpu(),
+            num_locks=configs.DEFAULT_NUM_LOCKS,
+            stm_overrides=dict(coalesced_logs=coalesced),
+        )
+        result.coalescing["%s_cycles" % label] = run.cycles
+    result.coalescing["ratio"] = (
+        result.coalescing["scattered_cycles"] / result.coalescing["coalesced_cycles"]
+    )
+
+    # 4) lock-acquisition abort threshold (section 4.3's practical note)
+    km_params = _params("km", quick=True)
+    for attempts in (1, 4, 16):
+        run = run_workload(
+            make_workload("km", **km_params),
+            "hv-sorting",
+            configs.bench_gpu(),
+            num_locks=configs.DEFAULT_NUM_LOCKS,
+            stm_overrides=dict(max_lock_attempts=attempts),
+        )
+        result.lock_attempts[attempts] = (run.cycles, run.abort_rate)
+
+    # 5) warp scheduling policy: interleaving granularity vs conflicts
+    for turn in (1, 8):
+        gpu = configs.bench_gpu()
+        gpu.warp_steps_per_turn = turn
+        run = run_workload(
+            make_workload("km", **km_params),
+            "hv-sorting",
+            gpu,
+            num_locks=configs.DEFAULT_NUM_LOCKS,
+        )
+        result.scheduler[turn] = (run.cycles, run.abort_rate)
+    return result
+
+
+def table2(quick=False):
+    """Sweep launch geometries per workload; report the optimum."""
+    sweeps = {
+        "ra": [(8, 32), (16, 32), (16, 64), (32, 32)],
+        "ht": [(8, 32), (16, 32), (16, 64), (32, 32)],
+        "gn": [(8, 32), (16, 32), (16, 64)],
+        "lb": [(7, 32), (14, 32), (28, 32)],
+        "km": [(4, 32), (8, 32), (16, 32), (32, 32)],
+    }
+    result = Table2Result()
+    for name, geometries in sweeps.items():
+        if quick:
+            geometries = geometries[:2]
+        best = None
+        for grid, block in geometries:
+            params = _params(name, quick)
+            if name == "lb":
+                params.update(grid_blocks=grid, block_threads=block)
+            else:
+                params.update(grid=grid, block=block)
+            run = run_workload(
+                make_workload(name, **params),
+                "optimized",
+                configs.bench_gpu(),
+                num_locks=configs.DEFAULT_NUM_LOCKS,
+                stm_overrides=configs.egpgv_capacity(),
+            )
+            if best is None or run.cycles < best[2]:
+                best = (grid, block, run.cycles)
+        result.rows.append((name, best[0], best[1], best[2]))
+    return result

@@ -1,0 +1,32 @@
+"""Metric helpers shared by experiments, benchmarks and tests."""
+
+
+def speedup(baseline_cycles, cycles):
+    """Speedup of ``cycles`` relative to ``baseline_cycles``."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return baseline_cycles / cycles
+
+
+def geometric_mean(values):
+    """Geometric mean (the usual summary for speedup collections)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty collection")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric_mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def crossover_index(series_a, series_b):
+    """First index where series_a overtakes series_b (None if never).
+
+    Used to locate the HV/TBV crossover points of Figure 4.
+    """
+    for index, (a, b) in enumerate(zip(series_a, series_b)):
+        if a is not None and b is not None and a > b:
+            return index
+    return None

@@ -1,0 +1,118 @@
+"""Run one (workload, STM variant) combination and collect metrics."""
+
+from repro.gpu import Device
+from repro.gpu.errors import GpuError
+from repro.stm import StmConfig, make_runtime
+from repro.stm.errors import EgpgvCapacityError
+from repro.stm.oracle import check_history
+
+
+class RunResult:
+    """Everything the figures and tables need from one run."""
+
+    __slots__ = (
+        "workload",
+        "variant",
+        "cycles",
+        "kernel_results",
+        "stats",
+        "abort_rate",
+        "commits",
+        "tx_time_fraction",
+        "crashed",
+        "crash_reason",
+    )
+
+    def __init__(self, workload, variant):
+        self.workload = workload
+        self.variant = variant
+        self.cycles = 0
+        self.kernel_results = []
+        self.stats = {}
+        self.abort_rate = 0.0
+        self.commits = 0
+        self.tx_time_fraction = 0.0
+        self.crashed = False
+        self.crash_reason = None
+
+    def __repr__(self):
+        if self.crashed:
+            return "RunResult(%s/%s CRASHED: %s)" % (
+                self.workload,
+                self.variant,
+                self.crash_reason,
+            )
+        return "RunResult(%s/%s cycles=%d commits=%d abort_rate=%.2f)" % (
+            self.workload,
+            self.variant,
+            self.cycles,
+            self.commits,
+            self.abort_rate,
+        )
+
+
+def run_workload(
+    workload,
+    variant,
+    gpu_config,
+    num_locks=1024,
+    stm_overrides=None,
+    verify=True,
+    check_oracle=False,
+    allow_crash=False,
+):
+    """Set up ``workload`` on a fresh device, run all its kernels under the
+    STM ``variant``, verify, and return a :class:`RunResult`.
+
+    ``allow_crash=True`` converts :class:`EgpgvCapacityError` into a crashed
+    result instead of raising — how the Figure 3 sweep records EGPGV's
+    behaviour at large thread counts.
+    """
+    device = Device(gpu_config)
+    workload.setup(device)
+    overrides = dict(stm_overrides or {})
+    overrides.setdefault("num_locks", num_locks)
+    overrides.setdefault("shared_data_size", workload.shared_data_size)
+    if check_oracle:
+        overrides["record_history"] = True
+    config = StmConfig(**overrides)
+    runtime = make_runtime(variant, device, config)
+
+    result = RunResult(workload.name, variant)
+    initial = list(device.mem.words) if check_oracle else None
+    try:
+        for spec in workload.kernels():
+            kernel_result = device.launch(
+                spec.kernel, spec.grid, spec.block, args=spec.args, attach=runtime.attach
+            )
+            result.kernel_results.append(kernel_result)
+            result.cycles += kernel_result.cycles
+    except EgpgvCapacityError as exc:
+        if not allow_crash:
+            raise
+        result.crashed = True
+        result.crash_reason = str(exc)
+        return result
+
+    for tx in runtime.threads:
+        locklog = getattr(tx, "locklog", None)
+        if locklog is not None:
+            runtime.stats.add("locklog_comparisons", locklog.comparisons)
+    result.stats = runtime.stats.as_dict()
+    result.commits = runtime.stats["commits"]
+    result.abort_rate = runtime.abort_rate()
+    total = sum(k.thread_cycles_total for k in result.kernel_results)
+    in_tx = sum(k.thread_cycles_in_tx for k in result.kernel_results)
+    result.tx_time_fraction = in_tx / total if total else 0.0
+
+    if verify:
+        workload.verify(device, runtime)
+        expected = workload.expected_commits()
+        if expected is not None and result.commits != expected:
+            raise AssertionError(
+                "%s/%s commits %d != expected %d"
+                % (workload.name, variant, result.commits, expected)
+            )
+    if check_oracle:
+        check_history(runtime.history, initial, device.mem)
+    return result

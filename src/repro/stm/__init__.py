@@ -1,0 +1,44 @@
+"""GPU-STM: the paper's primary contribution.
+
+A word- and lock-based software transactional memory for SIMT GPUs (Xu et
+al., CGO 2014) built around three ideas:
+
+1. **Hierarchical validation (HV)** — timestamp-based validation (TBV)
+   against a table of global version locks, falling back to value-based
+   validation (VBV) only when the snapshot is stale, which removes TBV's
+   false conflicts without VBV's cost (sections 3.1-3.2).
+2. **Encounter-time lock-sorting** — every lock touched by a transaction is
+   inserted, already sorted, into an order-preserving hash table so that
+   commit-time acquisition follows one global order and lockstep warps can
+   never livelock (section 3.1).
+3. **Coalesced read-/write-set organization** — per-warp merged logs so that
+   transactional bookkeeping coalesces into few memory transactions
+   (section 3.1).
+
+Use :func:`repro.stm.api.make_runtime` to instantiate any of the paper's
+evaluated systems: ``hv-sorting``, ``tbv-sorting``, ``hv-backoff``, ``vbv``,
+``optimized``, ``egpgv`` and the ``cgl`` baseline.
+"""
+
+from repro.stm.api import (
+    EXTENSION_VARIANTS,
+    STM_VARIANTS,
+    StmConfig,
+    make_runtime,
+    run_transaction,
+)
+from repro.stm.clock import GlobalClock
+from repro.stm.errors import EgpgvCapacityError, StmError
+from repro.stm.versionlock import GlobalLockTable
+
+__all__ = [
+    "EXTENSION_VARIANTS",
+    "STM_VARIANTS",
+    "StmConfig",
+    "GlobalClock",
+    "GlobalLockTable",
+    "EgpgvCapacityError",
+    "StmError",
+    "make_runtime",
+    "run_transaction",
+]

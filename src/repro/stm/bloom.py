@@ -1,0 +1,48 @@
+"""Per-transaction Bloom filter over write-set addresses.
+
+Algorithm 3 line 22 checks "has this transaction written to ``addr``?" on
+every transactional read; the paper compresses the write-set with a Bloom
+filter so the common miss is answered without scanning the log.  The filter
+is thread-local metadata, so membership tests cost only local cycles.
+"""
+
+_MIX1 = 0x9E3779B1
+_MIX2 = 0x85EBCA77
+
+
+class BloomFilter:
+    """A fixed-width Bloom filter with ``num_hashes`` probes per key."""
+
+    __slots__ = ("bits", "num_hashes", "word")
+
+    def __init__(self, bits=64, num_hashes=2):
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        self.bits = bits
+        self.num_hashes = num_hashes
+        self.word = 0
+
+    def _probes(self, key):
+        h1 = (key * _MIX1) & 0xFFFFFFFF
+        h2 = ((key ^ (key >> 7)) * _MIX2) & 0xFFFFFFFF | 1
+        for i in range(self.num_hashes):
+            yield ((h1 + i * h2) & 0xFFFFFFFF) % self.bits
+
+    def add(self, key):
+        """Insert ``key``."""
+        for bit in self._probes(key):
+            self.word |= 1 << bit
+
+    def might_contain(self, key):
+        """False means definitely absent; True means possibly present."""
+        word = self.word
+        return all(word & (1 << bit) for bit in self._probes(key))
+
+    def clear(self):
+        """Reset to empty (transaction begin)."""
+        self.word = 0
+
+    def __bool__(self):
+        return self.word != 0

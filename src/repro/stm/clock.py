@@ -1,0 +1,21 @@
+"""The global clock (paper Algorithm 2).
+
+A single global-memory word, read by every transaction at begin time
+(its *snapshot*) and atomically incremented by every writing transaction at
+commit time (Algorithm 3 line 83).  All device-side accesses go through a
+:class:`~repro.gpu.thread.ThreadCtx` so they are costed and interleaved like
+any other global access; the helpers here only hold the address.
+"""
+
+
+class GlobalClock:
+    """Holder of the global clock's address in device memory."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, mem, name="g_clock"):
+        self.addr = mem.alloc(1, name)
+
+    def peek(self, mem):
+        """Host-side read (tests / verifiers)."""
+        return mem.read(self.addr)

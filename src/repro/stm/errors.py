@@ -1,0 +1,15 @@
+"""Exception hierarchy of the STM runtimes."""
+
+
+class StmError(Exception):
+    """Base class for STM runtime errors."""
+
+
+class EgpgvCapacityError(StmError):
+    """STM-EGPGV exceeded its fixed per-block metadata capacity.
+
+    The EGPGV baseline (Cederman et al.) supports transactions only at
+    thread-block granularity with statically sized logs; large launches
+    overflow them.  This reproduces the paper's Figure 3 observation that
+    "STM-EGPGV crashes at relatively small numbers of threads".
+    """

@@ -1,0 +1,75 @@
+"""Strict-serializability oracle (test infrastructure).
+
+GPU-STM's correctness argument (paper section 3.3) is opacity: every
+committed transaction appears to occur atomically at a single point — for
+writers, the global-clock increment; for read-only transactions, the point
+their snapshot was last verified.
+
+When a runtime is created with ``record_history=True``, it logs every
+committed transaction's read-set (address, observed value), write-set and
+commit version.  :func:`check_history` replays those records in
+serialization order against the pre-kernel memory image and verifies:
+
+1. **Read consistency** — every recorded read matches the replayed state at
+   the transaction's serialization point (or the transaction's own write,
+   for direct-update runtimes like CGL whose reads can follow own writes);
+2. **Final-state agreement** — the replayed writes produce exactly the
+   post-kernel memory image on every written address.
+
+Any opacity or atomicity violation in a runtime shows up as a counterexample
+here, which is what the randomized (hypothesis) tests hunt for.
+"""
+
+
+class SerializabilityViolation(AssertionError):
+    """The recorded history is not strictly serializable."""
+
+
+def _sort_key(record):
+    # Writers serialize at their unique commit version; a read-only
+    # transaction with snapshot v serializes just after writer v.
+    return (record.version, 1 if not record.writes else 0)
+
+
+def check_history(history, initial_words, final_mem):
+    """Replay ``history`` over ``initial_words``; raise on any violation.
+
+    ``initial_words`` is the full memory image (list) captured before the
+    kernel ran; ``final_mem`` is the device memory after.  Returns the
+    number of checked transactions.
+    """
+    state = {}
+
+    def current(addr):
+        return state.get(addr, initial_words[addr] if addr < len(initial_words) else 0)
+
+    for record in sorted(history, key=_sort_key):
+        own_writes = record.writes
+        for addr, observed in record.reads:
+            expected = current(addr)
+            if observed != expected:
+                if addr in own_writes and observed == own_writes[addr]:
+                    # Direct-update runtimes (CGL, EGPGV-style re-reads) may
+                    # legitimately observe their own earlier write.
+                    continue
+                raise SerializabilityViolation(
+                    "tx tid=%d version=%s read addr=%d value=%d but the "
+                    "serialized state holds %d"
+                    % (record.tid, record.version, addr, observed, expected)
+                )
+        for addr, value in own_writes.items():
+            state[addr] = value
+
+    for addr, value in state.items():
+        device_value = final_mem.read(addr)
+        if device_value != value:
+            raise SerializabilityViolation(
+                "final memory mismatch at addr=%d: replay gives %d, device "
+                "holds %d" % (addr, value, device_value)
+            )
+    return len(history)
+
+
+def committed_writer_versions(history):
+    """All writer commit versions (used to assert uniqueness in tests)."""
+    return [record.version for record in history if record.writes]

@@ -1,0 +1,13 @@
+"""STM runtime implementations: the paper's evaluated variants.
+
+* :mod:`locksorting` — the GPU-STM core (Algorithm 3): hierarchical
+  validation + encounter-time lock-sorting (``hv-sorting``) and its
+  timestamp-only sibling (``tbv-sorting``).
+* :mod:`hv_backoff` — hierarchical validation with the GPU-specific
+  two-phase warp backoff instead of sorting (``hv-backoff``).
+* :mod:`vbv` — NOrec-like value-based validation under a single global
+  sequence lock (``vbv``).
+* :mod:`optimized` — adaptive HV/TBV selection (``optimized``).
+* :mod:`egpgv` — the per-thread-block blocking STM baseline (``egpgv``).
+* :mod:`cgl` — coarse-grained locking, the speedup denominator (``cgl``).
+"""

@@ -1,0 +1,134 @@
+"""Common interface of every TM runtime and baseline.
+
+A :class:`TmRuntime` owns the global metadata of one STM instance (lock
+table, clock, statistics) and hands every simulated thread a
+:class:`TxThread` via :meth:`TmRuntime.attach` (passed as the ``attach``
+callback of :meth:`repro.gpu.Device.launch`, which installs it as
+``tc.stm``).
+
+A :class:`TxThread` exposes the paper's programming interface as generator
+methods driven with ``yield from``:
+
+* ``tx_begin()``
+* ``value = yield from tx_read(addr)``
+* ``yield from tx_write(addr, value)``
+* ``committed = yield from tx_commit()``
+* ``yield from tx_abort()`` — explicit abort after an opacity violation
+  (the Figure 1 ``isOpaque`` pattern)
+
+``is_opaque`` mirrors the paper's per-transaction opacity flag: a read that
+fails post-validation clears it, and the program must break out of the
+transaction body and abort (GPU SIMT stacks are not software-manageable, so
+GPU-STM cannot longjmp out of a transaction the way CPU STMs do).
+
+When ``record_history`` is enabled the runtime logs every committed
+transaction's read/write sets and commit timestamp, which the strict
+serializability oracle (:mod:`repro.stm.oracle`) replays in tests.
+"""
+
+from repro.common.stats import Counters
+
+
+class CommitRecord:
+    """History entry of one committed transaction (oracle input)."""
+
+    __slots__ = ("tid", "version", "reads", "writes")
+
+    def __init__(self, tid, version, reads, writes):
+        self.tid = tid
+        self.version = version
+        self.reads = reads
+        self.writes = writes
+
+    def __repr__(self):
+        return "CommitRecord(tid=%d, version=%s, reads=%d, writes=%d)" % (
+            self.tid,
+            self.version,
+            len(self.reads),
+            len(self.writes),
+        )
+
+
+class TmRuntime:
+    """Base class of all TM runtimes."""
+
+    #: registry name; subclasses override
+    name = "abstract"
+    #: True when transactions of this runtime execute per thread (the paper's
+    #: distinguishing feature vs. EGPGV's per-thread-block transactions)
+    per_thread_transactions = True
+
+    def __init__(self, device, record_history=False):
+        self.device = device
+        self.mem = device.mem
+        self.config = device.config
+        self.stats = Counters()
+        self.record_history = record_history
+        self.history = []
+        self.threads = []
+        # optional TxTracer (repro.stm.trace): commit/abort event stream
+        self.tracer = None
+
+    def attach(self, tc):
+        """Install this runtime's per-thread transaction state on ``tc``.
+
+        Pass ``runtime.attach`` as the ``attach=`` argument of
+        ``Device.launch``.
+        """
+        tc.stm = self.make_thread(tc)
+        self.threads.append(tc.stm)
+
+    def make_thread(self, tc):
+        """Create the per-thread :class:`TxThread`; subclasses implement."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Statistics helpers
+    # ------------------------------------------------------------------
+    def note_commit(self, tx, version=None):
+        self.stats.add("commits")
+        if self.tracer is not None:
+            self.tracer.on_commit(tx, version)
+        if self.record_history:
+            self.history.append(
+                CommitRecord(
+                    tid=tx.tc.tid,
+                    version=version,
+                    reads=list(tx.read_entries()),
+                    writes=dict(tx.write_entries()),
+                )
+            )
+
+    def note_abort(self, reason, tx=None):
+        self.stats.add("aborts")
+        self.stats.add("aborts.%s" % reason)
+        if self.tracer is not None and tx is not None:
+            self.tracer.on_abort(tx, reason)
+
+    def abort_rate(self):
+        """Aborted attempts / started attempts."""
+        commits = self.stats["commits"]
+        aborts = self.stats["aborts"]
+        attempts = commits + aborts
+        return aborts / attempts if attempts else 0.0
+
+
+class TxThread:
+    """Per-thread transactional state; subclasses implement the barriers."""
+
+    def __init__(self, runtime, tc):
+        self.runtime = runtime
+        self.tc = tc
+        self.is_opaque = True
+
+    # Subclasses must provide generator methods:
+    #   tx_begin, tx_read, tx_write, tx_commit, tx_abort
+    # and the history accessors read_entries() / write_entries().
+
+    def read_entries(self):
+        """Iterable of (addr, value) transactional reads (for history)."""
+        return ()
+
+    def write_entries(self):
+        """Iterable of (addr, value) speculative writes (for history)."""
+        return ()

@@ -1,0 +1,69 @@
+"""The unsorted strawman: GPU-STM with encounter-time lock-sorting removed.
+
+This runtime exists to *demonstrate the problem* the paper's section 2.2
+describes and section 3.1 solves: commit-time locking in raw encounter
+order, with unbounded symmetric retries and no backoff.  Two lanes of one
+warp whose transactions touch the same two stripes in opposite orders fail
+their second acquisition in the same lockstep step, release, and retry
+forever — a livelock the watchdog reports as
+:class:`~repro.gpu.errors.ProgressError`.
+
+Used by the livelock tests and the lock-sorting ablation benchmark.  Never
+use it for real work.
+"""
+
+from repro.stm.locklog import EncounterOrderLog
+from repro.stm.runtime.locksorting import LockSortingRuntime, LockSortingTx
+
+
+class UnsortedNoBackoffTx(LockSortingTx):
+    """GPU-STM transaction with the sorting removed."""
+
+    def __init__(self, runtime, tc):
+        super().__init__(runtime, tc)
+        self.locklog = EncounterOrderLog(runtime.lock_table.num_locks)
+
+
+class UnsortedNoBackoffRuntime(LockSortingRuntime):
+    """Hierarchical validation, encounter-order locking, unbounded retries."""
+
+    def __init__(self, device, **kwargs):
+        kwargs.setdefault("max_lock_attempts", 10**9)
+        super().__init__(device, **kwargs)
+
+    @property
+    def name(self):
+        return "hv-unsorted-nobackoff"
+
+    def make_thread(self, tc):
+        return UnsortedNoBackoffTx(self, tc)
+
+
+def crossed_order_kernel(data, stripe_span):
+    """Adversarial kernel: lane 0 touches (A, B), lane 1 touches (B, A).
+
+    ``stripe_span`` separates A and B so they map to different global
+    version locks.  Under lockstep execution this livelocks any unsorted,
+    backoff-free commit-time locker.
+    """
+    from repro.stm.api import run_transaction
+
+    def kernel(tc):
+        a = data
+        b = data + stripe_span
+        first, second = (a, b) if tc.lane_id == 0 else (b, a)
+
+        def body(stm):
+            first_value = yield from stm.tx_read(first)
+            if not stm.is_opaque:
+                return False
+            second_value = yield from stm.tx_read(second)
+            if not stm.is_opaque:
+                return False
+            yield from stm.tx_write(first, first_value + 1)
+            yield from stm.tx_write(second, second_value + 1)
+            return True
+
+        yield from run_transaction(tc, body)
+
+    return kernel

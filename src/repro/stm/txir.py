@@ -1,0 +1,304 @@
+"""TxIR — compiler-style transaction authoring (paper section 4.1).
+
+The paper closes its programming-model discussion with: "Compiler support
+can further reduce the complexity of GPU-STM programming: (1) log
+operations and opacity checking can be automatically inserted, and (2)
+explicit calls to TXRead/Write can be replaced by simple atomic
+annotations."  This module is that compiler layer, scaled to the simulator:
+a tiny register-based intermediate representation for transaction bodies,
+plus an interpreter that lowers it onto the TXRead/TXWrite API with every
+opacity check inserted automatically.
+
+A program is a list of instructions over named virtual registers::
+
+    from repro.stm.txir import (
+        Add, Const, Load, Mul, Store, Sub, atomic, compile_body)
+
+    # atomically: dst += src  (a transfer)
+    program = [
+        Load("s", base, index="i"),      # s <- mem[base + R[i]]
+        Load("d", base, index="j"),
+        Sub("s2", "s", "amt"),
+        Add("d2", "d", "amt"),
+        Store(base, "s2", index="i"),    # mem[base + R[i]] <- R[s2]
+        Store(base, "d2", index="j"),
+    ]
+    body = compile_body(program)         # -> a run_transaction body
+    yield from atomic(tc, program, registers={"i": 3, "j": 5, "amt": 1})
+
+Every ``Load`` is lowered to ``tx_read`` followed by the Figure 1 opacity
+check; aborted attempts are retried by :func:`repro.stm.api.run_transaction`
+with the virtual registers checkpointed — the programmer writes neither.
+
+The IR is deliberately small (loads, stores, ALU ops, bounded conditional
+skip) but genuinely expressive enough for the paper's workload kernels; see
+``tests/stm/test_txir.py`` for a random-program differential test against a
+sequential reference interpreter.
+"""
+
+from repro.stm.api import run_transaction
+
+
+class TxIrError(Exception):
+    """Malformed TxIR program or register misuse."""
+
+
+class _Instruction:
+    """Base class: every instruction knows how to validate itself."""
+
+    __slots__ = ()
+
+    def check(self):
+        """Raise :class:`TxIrError` on malformed operands."""
+
+
+def _require_register(name, what):
+    if not isinstance(name, str) or not name:
+        raise TxIrError("%s must be a non-empty register name, got %r" % (what, name))
+
+
+class Const(_Instruction):
+    """R[dst] <- literal value."""
+
+    __slots__ = ("dst", "value")
+
+    def __init__(self, dst, value):
+        self.dst = dst
+        self.value = value
+
+    def check(self):
+        _require_register(self.dst, "Const dst")
+        if not isinstance(self.value, int):
+            raise TxIrError("Const value must be an int, got %r" % (self.value,))
+
+
+class Mov(_Instruction):
+    """R[dst] <- R[src]."""
+
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst, src):
+        self.dst = dst
+        self.src = src
+
+    def check(self):
+        _require_register(self.dst, "Mov dst")
+        _require_register(self.src, "Mov src")
+
+
+class _Alu(_Instruction):
+    """R[dst] <- R[a] op R[b]."""
+
+    __slots__ = ("dst", "a", "b")
+
+    def __init__(self, dst, a, b):
+        self.dst = dst
+        self.a = a
+        self.b = b
+
+    def check(self):
+        _require_register(self.dst, "%s dst" % type(self).__name__)
+        _require_register(self.a, "%s a" % type(self).__name__)
+        _require_register(self.b, "%s b" % type(self).__name__)
+
+    @staticmethod
+    def apply(a, b):
+        raise NotImplementedError
+
+
+class Add(_Alu):
+    __slots__ = ()
+
+    @staticmethod
+    def apply(a, b):
+        return a + b
+
+
+class Sub(_Alu):
+    __slots__ = ()
+
+    @staticmethod
+    def apply(a, b):
+        return a - b
+
+
+class Mul(_Alu):
+    __slots__ = ()
+
+    @staticmethod
+    def apply(a, b):
+        return a * b
+
+
+class Xor(_Alu):
+    __slots__ = ()
+
+    @staticmethod
+    def apply(a, b):
+        return a ^ b
+
+
+class Load(_Instruction):
+    """R[dst] <- mem[base + R[index] (or + offset)]; transactional."""
+
+    __slots__ = ("dst", "base", "index", "offset")
+
+    def __init__(self, dst, base, index=None, offset=0):
+        self.dst = dst
+        self.base = base
+        self.index = index
+        self.offset = offset
+
+    def check(self):
+        _require_register(self.dst, "Load dst")
+        if self.index is not None:
+            _require_register(self.index, "Load index")
+        if not isinstance(self.base, int) or not isinstance(self.offset, int):
+            raise TxIrError("Load base/offset must be ints")
+
+
+class Store(_Instruction):
+    """mem[base + R[index] (or + offset)] <- R[src]; transactional."""
+
+    __slots__ = ("src", "base", "index", "offset")
+
+    def __init__(self, base, src, index=None, offset=0):
+        self.base = base
+        self.src = src
+        self.index = index
+        self.offset = offset
+
+    def check(self):
+        _require_register(self.src, "Store src")
+        if self.index is not None:
+            _require_register(self.index, "Store index")
+        if not isinstance(self.base, int) or not isinstance(self.offset, int):
+            raise TxIrError("Store base/offset must be ints")
+
+
+class SkipIfZero(_Instruction):
+    """Skip the next ``count`` instructions when R[cond] == 0.
+
+    Forward-only and bounded, so programs always terminate — the property a
+    compiler would guarantee before emitting transactional code.
+    """
+
+    __slots__ = ("cond", "count")
+
+    def __init__(self, cond, count=1):
+        self.cond = cond
+        self.count = count
+
+    def check(self):
+        _require_register(self.cond, "SkipIfZero cond")
+        if not isinstance(self.count, int) or self.count < 1:
+            raise TxIrError("SkipIfZero count must be a positive int")
+
+
+def check_program(program):
+    """Validate a program; returns it (compiler front-end checks)."""
+    if not program:
+        raise TxIrError("empty TxIR program")
+    for position, instruction in enumerate(program):
+        if not isinstance(instruction, _Instruction):
+            raise TxIrError(
+                "instruction %d is %r, not a TxIR instruction"
+                % (position, instruction)
+            )
+        instruction.check()
+        if isinstance(instruction, SkipIfZero):
+            if position + instruction.count >= len(program):
+                raise TxIrError(
+                    "SkipIfZero at %d skips past the end of the program" % position
+                )
+    return program
+
+
+def _address(instruction, registers):
+    base = instruction.base + instruction.offset
+    if instruction.index is not None:
+        base += registers.get(instruction.index, 0)
+    return base
+
+
+def compile_body(program, registers):
+    """Lower a TxIR program to a ``run_transaction`` body generator.
+
+    The "compiler-inserted" parts: every Load goes through ``tx_read`` with
+    the opacity check appended; every Store is buffered via ``tx_write``.
+    ``registers`` is the live register file (shared with the caller so
+    results are visible after commit).
+    """
+    check_program(program)
+
+    def body(stm):
+        skip = 0
+        for instruction in program:
+            if skip:
+                skip -= 1
+                continue
+            if isinstance(instruction, Const):
+                registers[instruction.dst] = instruction.value
+            elif isinstance(instruction, Mov):
+                registers[instruction.dst] = registers.get(instruction.src, 0)
+            elif isinstance(instruction, _Alu):
+                registers[instruction.dst] = instruction.apply(
+                    registers.get(instruction.a, 0), registers.get(instruction.b, 0)
+                )
+            elif isinstance(instruction, Load):
+                value = yield from stm.tx_read(_address(instruction, registers))
+                if not stm.is_opaque:  # auto-inserted opacity check
+                    return False
+                registers[instruction.dst] = value
+            elif isinstance(instruction, Store):
+                yield from stm.tx_write(
+                    _address(instruction, registers),
+                    registers.get(instruction.src, 0),
+                )
+            elif isinstance(instruction, SkipIfZero):
+                if registers.get(instruction.cond, 0) == 0:
+                    skip = instruction.count
+        return True
+
+    return body
+
+
+def atomic(tc, program, registers=None, max_restarts=None):
+    """Run a TxIR ``program`` as one atomic transaction (the paper's
+    "simple atomic annotation").  Registers are checkpointed across retries
+    automatically.  Returns the final register file."""
+    registers = registers if registers is not None else {}
+    body = compile_body(program, registers)
+    yield from run_transaction(tc, body, max_restarts=max_restarts, registers=registers)
+    return registers
+
+
+def reference_interpret(program, registers, memory):
+    """Sequential reference semantics of a TxIR program (test oracle).
+
+    ``memory`` is a dict-like of address -> value; mutated in place.
+    """
+    check_program(program)
+    skip = 0
+    for instruction in program:
+        if skip:
+            skip -= 1
+            continue
+        if isinstance(instruction, Const):
+            registers[instruction.dst] = instruction.value
+        elif isinstance(instruction, Mov):
+            registers[instruction.dst] = registers.get(instruction.src, 0)
+        elif isinstance(instruction, _Alu):
+            registers[instruction.dst] = instruction.apply(
+                registers.get(instruction.a, 0), registers.get(instruction.b, 0)
+            )
+        elif isinstance(instruction, Load):
+            registers[instruction.dst] = memory.get(_address(instruction, registers), 0)
+        elif isinstance(instruction, Store):
+            memory[_address(instruction, registers)] = registers.get(
+                instruction.src, 0
+            )
+        elif isinstance(instruction, SkipIfZero):
+            if registers.get(instruction.cond, 0) == 0:
+                skip = instruction.count
+    return registers

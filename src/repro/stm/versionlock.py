@@ -1,0 +1,80 @@
+"""Version locks and the global lock table (paper Algorithm 2, section 3.2.1).
+
+Each global version lock is one unsigned word: the least significant bit says
+whether the memory stripe it manages is currently locked by a committing
+transaction; the remaining bits hold the stripe's version — the value of the
+global clock when the stripe was last committed to.
+
+The table maps addresses to locks by stripe hashing: for a lock table of
+2**k entries, bits [stripe_shift, stripe_shift + k) of the word address
+select the lock (the paper uses bits 2..21 of the byte address for a 2**20
+table, i.e. word-granularity stripes).
+"""
+
+LOCKED_BIT = 1
+
+
+def make_version_lock(version, locked=False):
+    """Encode a (version, locked) pair into a version-lock word."""
+    if version < 0:
+        raise ValueError("version must be non-negative")
+    return (version << 1) | (LOCKED_BIT if locked else 0)
+
+
+def is_locked(word):
+    """True if the version-lock word has its lock bit set."""
+    return bool(word & LOCKED_BIT)
+
+
+def version_of(word):
+    """Extract the version from a version-lock word (Algorithm 3's >> 1)."""
+    return word >> 1
+
+
+class GlobalLockTable:
+    """The array of global version locks shared by all transactions."""
+
+    __slots__ = ("mem", "base", "num_locks", "_mask", "_stripe_shift")
+
+    def __init__(self, mem, num_locks, stripe_words=1, name="g_lockTab"):
+        if num_locks < 1 or num_locks & (num_locks - 1):
+            raise ValueError("num_locks must be a positive power of two")
+        if stripe_words < 1 or stripe_words & (stripe_words - 1):
+            raise ValueError("stripe_words must be a positive power of two")
+        self.mem = mem
+        self.num_locks = num_locks
+        self.base = mem.alloc(num_locks, name)
+        self._mask = num_locks - 1
+        self._stripe_shift = stripe_words.bit_length() - 1
+
+    def index_of(self, addr):
+        """Hash a word address to its lock index (paper's ``hash(addr)``)."""
+        return (addr >> self._stripe_shift) & self._mask
+
+    def lock_addr(self, index):
+        """Global memory address of lock ``index``."""
+        return self.base + index
+
+    def lock_addr_for(self, addr):
+        """Global memory address of the lock managing data address ``addr``."""
+        return self.base + self.index_of(addr)
+
+    # Convenience inspection helpers (tests / debugging; not used on the
+    # simulated-device fast path, which reads through ThreadCtx).
+    def peek(self, index):
+        """Raw version-lock word of lock ``index``."""
+        return self.mem.read(self.base + index)
+
+    def locked_count(self):
+        """Number of currently locked entries (should be 0 at kernel end)."""
+        return sum(
+            1
+            for i in range(self.num_locks)
+            if is_locked(self.mem.read(self.base + i))
+        )
+
+    def max_version(self):
+        """Largest version present in the table."""
+        return max(
+            version_of(self.mem.read(self.base + i)) for i in range(self.num_locks)
+        )

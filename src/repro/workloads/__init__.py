@@ -1,0 +1,16 @@
+"""Evaluation workloads of the paper (section 4.1, Table 1).
+
+Micro-benchmarks: *random array* (RA), *hashtable* (HT), *EigenBench* (EB).
+STAMP ports: *labyrinth* (LB), *genome* (GN, two kernels), *k-means* (KM),
+rewritten over flat arrays exactly as the paper did for GPU execution.
+
+Every workload implements :class:`~repro.workloads.base.Workload`: it
+allocates its shared state on a device, exposes one kernel per transactional
+phase, declares its shared-data size (the STM-Optimized hint), and verifies
+a workload-specific atomicity invariant after the run.
+"""
+
+from repro.workloads.base import KernelSpec, Workload
+from repro.workloads.registry import WORKLOADS, make_workload
+
+__all__ = ["KernelSpec", "Workload", "WORKLOADS", "make_workload"]

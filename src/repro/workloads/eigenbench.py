@@ -1,0 +1,153 @@
+"""EB — *EigenBench* (Hong et al., IISWC 2010; paper sections 4.1, 4.3).
+
+The reconfigurable TM characterization micro-benchmark, with the original's
+three-array structure:
+
+* **hot**  — one shared array, accessed transactionally by every thread
+  with uniform random addresses (``reads_per_tx`` reads plus
+  ``writes_per_tx`` read-modify-write increments).  This is the conflict
+  axis the paper sweeps in Figure 4 against the version-lock count.
+* **mild** — a per-thread private partition, accessed *transactionally*
+  (``mild_reads``/``mild_writes``): adds transaction length and metadata
+  pressure without adding conflicts.
+* **cold** — a per-thread private partition accessed *outside* transactions
+  (``cold_reads``/``cold_writes``) plus ``cold_work`` ALU cycles: dilutes
+  the fraction of time spent in transactions.
+
+Invariant: every committed transaction adds exactly one to ``writes_per_tx``
+hot cells (duplicates collapse into larger increments of one cell), so the
+hot array's sum equals committed-transactions x writes_per_tx.
+"""
+
+from repro.common.rng import Xorshift32, thread_seed
+from repro.gpu.events import Phase
+from repro.stm.api import run_transaction
+from repro.workloads.base import KernelSpec, Workload
+
+
+class EigenBench(Workload):
+    """Configurable hot/mild/cold transactional mix."""
+
+    name = "eb"
+    title = "EigenBench"
+
+    def __init__(
+        self,
+        hot_size=4096,
+        mild_size=8,
+        cold_size=8,
+        grid=8,
+        block=128,
+        txs_per_thread=2,
+        reads_per_tx=4,
+        writes_per_tx=2,
+        mild_reads=1,
+        mild_writes=1,
+        cold_reads=1,
+        cold_writes=1,
+        cold_work=8,
+        seed=1203,
+    ):
+        if hot_size < 1:
+            raise ValueError("hot_size must be >= 1")
+        self.hot_size = hot_size
+        self.mild_size = mild_size
+        self.cold_size = cold_size
+        self.grid = grid
+        self.block = block
+        self.txs_per_thread = txs_per_thread
+        self.reads_per_tx = reads_per_tx
+        self.writes_per_tx = writes_per_tx
+        self.mild_reads = mild_reads if mild_size else 0
+        self.mild_writes = mild_writes if mild_size else 0
+        self.cold_reads = cold_reads if cold_size else 0
+        self.cold_writes = cold_writes if cold_size else 0
+        self.cold_work = cold_work
+        self.seed = seed
+        self.hot = None
+        self.mild = None
+        self.cold = None
+
+    def setup(self, device):
+        threads = self.grid * self.block
+        self.hot = device.mem.alloc(self.hot_size, "eb_hot")
+        self.mild = device.mem.alloc(max(1, self.mild_size) * threads, "eb_mild")
+        self.cold = device.mem.alloc(max(1, self.cold_size) * threads, "eb_cold")
+
+    @property
+    def shared_data_size(self):
+        return self.hot_size
+
+    def expected_commits(self):
+        return self.grid * self.block * self.txs_per_thread
+
+    def kernels(self):
+        workload = self
+
+        def kernel(tc):
+            rng = Xorshift32(thread_seed(workload.seed, tc.tid))
+            mild_base = workload.mild + tc.tid * max(1, workload.mild_size)
+            cold_base = workload.cold + tc.tid * max(1, workload.cold_size)
+            for _ in range(workload.txs_per_thread):
+
+                def body(stm):
+                    checksum = 0
+                    for _r in range(workload.reads_per_tx):
+                        value = yield from stm.tx_read(
+                            workload.hot + rng.randrange(workload.hot_size)
+                        )
+                        if not stm.is_opaque:
+                            return False
+                        checksum ^= value
+                    for _w in range(workload.writes_per_tx):
+                        addr = workload.hot + rng.randrange(workload.hot_size)
+                        value = yield from stm.tx_read(addr)
+                        if not stm.is_opaque:
+                            return False
+                        yield from stm.tx_write(addr, value + 1)
+                    # mild traffic: transactional but conflict-free
+                    for index in range(workload.mild_reads):
+                        value = yield from stm.tx_read(
+                            mild_base + index % max(1, workload.mild_size)
+                        )
+                        if not stm.is_opaque:
+                            return False
+                        checksum ^= value
+                    for index in range(workload.mild_writes):
+                        yield from stm.tx_write(
+                            mild_base + index % max(1, workload.mild_size), checksum
+                        )
+                    return True
+
+                yield from run_transaction(tc, body)
+
+                # cold phase: non-transactional private traffic + compute
+                for index in range(workload.cold_reads):
+                    tc.gread(cold_base + index % max(1, workload.cold_size), Phase.NATIVE)
+                    yield
+                for index in range(workload.cold_writes):
+                    tc.gwrite(
+                        cold_base + index % max(1, workload.cold_size),
+                        tc.tid + index,
+                        Phase.NATIVE,
+                    )
+                    yield
+                if workload.cold_work:
+                    tc.work(workload.cold_work, Phase.NATIVE)
+                    yield
+
+        return [KernelSpec("eb", kernel, self.grid, self.block)]
+
+    def verify(self, device, runtime):
+        total = sum(device.mem.snapshot(self.hot, self.hot_size))
+        commits = runtime.stats["commits"]
+        expected = commits * self.writes_per_tx
+        if total != expected:
+            raise AssertionError(
+                "EB hot-sum invariant violated: %d != commits(%d) * writes(%d)"
+                % (total, commits, self.writes_per_tx)
+            )
+        if commits != self.expected_commits():
+            raise AssertionError(
+                "EB commit count %d != expected %d" % (commits, self.expected_commits())
+            )

@@ -1,0 +1,216 @@
+"""GN — *genome*, ported from STAMP (paper sections 4.1, 4.4).
+
+Genome assembly in two transactional kernels over flat arrays (the paper:
+"GN has two transaction kernels"):
+
+* **GN-1, segment deduplication** — every thread inserts its share of the
+  (duplicate-laden) segment pool into one shared open-addressing hash set.
+  Two threads racing for the same empty slot conflict through the STM; the
+  loser revalidates and probes on.  Read set = probe chain, write set <= 1.
+* **GN-2, overlap matching** — every unique segment tries to *claim* a
+  successor segment (one whose value overlaps: value+1 or value+2) so that
+  each segment is claimed by at most one predecessor.  The claim flag is the
+  conflict point.  GN-2's transactions are nearly all reads+writes with
+  little native work, which is why the paper's Figure 5 shows GN-2 with the
+  largest STM overhead (and still ~20x speedup, amortized by scalability).
+
+Verification recomputes the expected unique-segment set on the host and
+checks set equality, slot uniqueness, and the claim/link bijection.
+"""
+
+from repro.common.rng import Xorshift32
+from repro.gpu.events import Phase
+from repro.stm.api import run_transaction
+from repro.workloads.base import KernelSpec, Workload
+
+
+class Genome(Workload):
+    """Two-kernel genome assembly core: dedup then overlap matching."""
+
+    name = "gn"
+    title = "genome"
+
+    def __init__(
+        self,
+        table_size=1024,
+        segments_per_thread=2,
+        segment_space=256,
+        grid=8,
+        block=64,
+        match_grid=2,
+        match_block=64,
+        seed=909,
+    ):
+        if table_size & (table_size - 1):
+            raise ValueError("table_size must be a power of two")
+        self.table_size = table_size
+        self.segments_per_thread = segments_per_thread
+        self.segment_space = segment_space
+        self.grid = grid
+        self.block = block
+        self.match_grid = match_grid
+        self.match_block = match_block
+        self.seed = seed
+        self.table = None
+        self.claimed = None
+        self.links = None
+        self.segments = []
+
+    def setup(self, device):
+        self.table = device.mem.alloc(self.table_size, "gn_table")
+        self.claimed = device.mem.alloc(self.table_size, "gn_claimed")
+        self.links = device.mem.alloc(self.table_size, "gn_links")
+        rng = Xorshift32(self.seed)
+        total = self.grid * self.block * self.segments_per_thread
+        # segment values >= 1; deliberately drawn from a small space so the
+        # pool carries many duplicates (that is what dedup is for)
+        self.segments = [rng.randrange(self.segment_space) + 1 for _ in range(total)]
+
+    @property
+    def shared_data_size(self):
+        return self.table_size
+
+    def expected_commits(self):
+        dedup = self.grid * self.block * self.segments_per_thread
+        match = len(set(self.segments))  # one transaction per occupied slot
+        return dedup + match
+
+    @staticmethod
+    def _hash(value, table_size):
+        return (value * 0x9E3779B1) & (table_size - 1)
+
+    # ------------------------------------------------------------------
+    def kernels(self):
+        return [self._dedup_kernel(), self._match_kernel()]
+
+    def _dedup_kernel(self):
+        table = None  # bound at run time through self
+        workload = self
+        per_thread = self.segments_per_thread
+        table_size = self.table_size
+
+        def kernel(tc):
+            base = tc.tid * per_thread
+            my_segments = workload.segments[base : base + per_thread]
+            for segment in my_segments:
+
+                def body(stm, segment=segment):
+                    start = workload._hash(segment, table_size)
+                    for probe in range(table_size):
+                        slot = workload.table + ((start + probe) & (table_size - 1))
+                        value = yield from stm.tx_read(slot)
+                        if not stm.is_opaque:
+                            return False
+                        if value == 0:
+                            yield from stm.tx_write(slot, segment)
+                            return True
+                        if value == segment:
+                            return True  # already present
+                    raise RuntimeError("genome hash set full")
+
+                yield from run_transaction(tc, body)
+
+        del table
+        return KernelSpec("gn-1", kernel, self.grid, self.block)
+
+    def _match_kernel(self):
+        workload = self
+        table_size = self.table_size
+
+        def _find(stm, value):
+            """Transactional open-addressing lookup; returns the slot of
+            ``value``, None when absent, or "inconsistent" on opacity loss."""
+            start = workload._hash(value, table_size)
+            for probe in range(table_size):
+                slot = (start + probe) & (table_size - 1)
+                current = yield from stm.tx_read(workload.table + slot)
+                if not stm.is_opaque:
+                    return "inconsistent"
+                if current == 0:
+                    return None
+                if current == value:
+                    return slot
+            return None
+
+        def kernel(tc):
+            # each matcher thread owns a strided slice of table slots;
+            # one transaction per occupied slot (STAMP style).  The table is
+            # immutable during matching, so the occupancy scan is a plain
+            # (non-transactional) read — weak isolation makes this legal.
+            threads = workload.match_grid * workload.match_block
+            for slot in range(tc.tid, table_size, threads):
+                # the freshly-built table is hot in L2 after GN-1
+                occupant = tc.gread_l2(workload.table + slot, Phase.NATIVE)
+                yield
+                if occupant == 0:
+                    continue
+
+                def body(stm, slot=slot):
+                    segment = yield from stm.tx_read(workload.table + slot)
+                    if not stm.is_opaque:
+                        return False
+                    if segment == 0:
+                        return True
+                    for delta in (1, 2):
+                        successor = segment + delta
+                        target = yield from _find(stm, successor)
+                        if target == "inconsistent":
+                            return False
+                        if target is None:
+                            continue
+                        claim = yield from stm.tx_read(workload.claimed + target)
+                        if not stm.is_opaque:
+                            return False
+                        if claim == 0:
+                            yield from stm.tx_write(workload.claimed + target, slot + 1)
+                            yield from stm.tx_write(workload.links + slot, target + 1)
+                            break
+                    return True
+
+                yield from run_transaction(tc, body)
+
+        return KernelSpec("gn-2", kernel, self.match_grid, self.match_block)
+
+    # ------------------------------------------------------------------
+    def verify(self, device, runtime):
+        mem = device.mem
+        stored = {}
+        for slot in range(self.table_size):
+            value = mem.read(self.table + slot)
+            if value:
+                if value in stored.values():
+                    raise AssertionError("GN duplicate segment %d in set" % value)
+                stored[slot] = value
+        expected = set(self.segments)
+        if set(stored.values()) != expected:
+            raise AssertionError(
+                "GN dedup set wrong: %d stored vs %d expected unique"
+                % (len(stored), len(expected))
+            )
+        # claim/link bijection
+        links = {}
+        for slot in range(self.table_size):
+            link = mem.read(self.links + slot)
+            if link:
+                links[slot] = link - 1
+        claims = {}
+        for slot in range(self.table_size):
+            claim = mem.read(self.claimed + slot)
+            if claim:
+                claims[slot] = claim - 1
+        for predecessor, successor in links.items():
+            if claims.get(successor) != predecessor:
+                raise AssertionError(
+                    "GN link %d->%d without matching claim" % (predecessor, successor)
+                )
+            delta = stored[successor] - stored[predecessor]
+            if delta not in (1, 2):
+                raise AssertionError(
+                    "GN link %d->%d is not an overlap (delta=%d)"
+                    % (predecessor, successor, delta)
+                )
+        for successor, predecessor in claims.items():
+            if links.get(predecessor) != successor:
+                raise AssertionError(
+                    "GN claim on %d without matching link" % successor
+                )

@@ -1,0 +1,143 @@
+"""HT — the *hashtable* micro-benchmark (paper section 4.1).
+
+"Each transaction inserts multiple elements into a shared hash table."  The
+table is a chained hash map laid out in flat arrays, GPU-style:
+
+* ``buckets`` — one word per bucket: 0 = empty, otherwise 1 + node index;
+* ``nodes``  — a node pool of (key, next) pairs, *pre-partitioned per
+  thread* so allocation itself needs no synchronization (the standard GPU
+  porting trick; contention is on bucket heads, as in the paper).
+
+A transaction inserts ``inserts_per_tx`` keys: for each it reads the bucket
+head, writes the node's key and next, and publishes the node as the new
+head.  Verification walks every chain: node count, key multiset and
+acyclicity must match exactly — lost updates (two inserts racing on one
+head) would drop nodes.
+"""
+
+from repro.common.rng import Xorshift32, thread_seed
+from repro.stm.api import run_transaction
+from repro.workloads.base import KernelSpec, Workload
+
+
+class HashTable(Workload):
+    """Concurrent chained-hash-table inserts."""
+
+    name = "ht"
+    title = "hashtable"
+
+    def __init__(
+        self,
+        num_buckets=1024,
+        grid=8,
+        block=128,
+        txs_per_thread=2,
+        inserts_per_tx=2,
+        seed=424,
+        key_space=1 << 30,
+    ):
+        self.num_buckets = num_buckets
+        self.grid = grid
+        self.block = block
+        self.txs_per_thread = txs_per_thread
+        self.inserts_per_tx = inserts_per_tx
+        self.seed = seed
+        self.key_space = key_space
+        self.buckets = None
+        self.nodes = None
+
+    @property
+    def total_inserts(self):
+        return self.grid * self.block * self.txs_per_thread * self.inserts_per_tx
+
+    def setup(self, device):
+        self.buckets = device.mem.alloc(self.num_buckets, "ht_buckets")
+        # node pool: 2 words per node (key, next), partitioned per thread
+        self.nodes = device.mem.alloc(2 * self.total_inserts, "ht_nodes")
+
+    @property
+    def shared_data_size(self):
+        # Only the bucket heads are shared *among* transactions: nodes are
+        # written once by their owning thread and never transactionally read
+        # by others (insertions read bucket heads only).  This is the count
+        # STM-Optimized cares about.
+        return self.num_buckets
+
+    def expected_commits(self):
+        return self.grid * self.block * self.txs_per_thread
+
+    def kernels(self):
+        buckets = self.buckets
+        nodes = self.nodes
+        num_buckets = self.num_buckets
+        txs = self.txs_per_thread
+        inserts = self.inserts_per_tx
+        seed = self.seed
+        key_space = self.key_space
+        per_thread = txs * inserts
+
+        def kernel(tc):
+            rng = Xorshift32(thread_seed(seed, tc.tid))
+            next_node = tc.tid * per_thread  # private node sub-pool
+            for _ in range(txs):
+                tx_keys = [rng.randrange(key_space) + 1 for _ in range(inserts)]
+                first_node = next_node
+
+                def body(stm, tx_keys=tx_keys, first_node=first_node):
+                    node = first_node
+                    for key in tx_keys:
+                        bucket = buckets + (key % num_buckets)
+                        head = yield from stm.tx_read(bucket)
+                        if not stm.is_opaque:
+                            return False
+                        yield from stm.tx_write(nodes + 2 * node, key)
+                        yield from stm.tx_write(nodes + 2 * node + 1, head)
+                        yield from stm.tx_write(bucket, node + 1)
+                        node += 1
+                    return True
+
+                yield from run_transaction(tc, body)
+                next_node += inserts
+
+        return [KernelSpec("ht", kernel, self.grid, self.block)]
+
+    # ------------------------------------------------------------------
+    def expected_keys(self):
+        """Host-side recomputation of every key each thread inserts."""
+        keys = []
+        for tid in range(self.grid * self.block):
+            rng = Xorshift32(thread_seed(self.seed, tid))
+            for _ in range(self.txs_per_thread * self.inserts_per_tx):
+                keys.append(rng.randrange(self.key_space) + 1)
+        return keys
+
+    def verify(self, device, runtime):
+        mem = device.mem
+        seen_nodes = set()
+        found_keys = []
+        for bucket_index in range(self.num_buckets):
+            head = mem.read(self.buckets + bucket_index)
+            node = head - 1
+            hops = 0
+            while node >= 0:
+                if node in seen_nodes:
+                    raise AssertionError(
+                        "HT chain cycle or shared node at bucket %d" % bucket_index
+                    )
+                seen_nodes.add(node)
+                key = mem.read(self.nodes + 2 * node)
+                if key % self.num_buckets != bucket_index:
+                    raise AssertionError(
+                        "HT key %d filed under wrong bucket %d" % (key, bucket_index)
+                    )
+                found_keys.append(key)
+                node = mem.read(self.nodes + 2 * node + 1) - 1
+                hops += 1
+                if hops > self.total_inserts:
+                    raise AssertionError("HT chain longer than total inserts")
+        expected = sorted(self.expected_keys())
+        if sorted(found_keys) != expected:
+            raise AssertionError(
+                "HT lost or duplicated inserts: found %d nodes, expected %d"
+                % (len(found_keys), len(expected))
+            )

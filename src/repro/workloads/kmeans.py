@@ -1,0 +1,148 @@
+"""KM — *k-means*, ported from STAMP (paper sections 4.1, 4.2, 4.4).
+
+One clustering iteration: every thread walks its share of the points,
+computes the nearest center natively (the distance arithmetic is modeled
+with ``tc.work``), then transactionally accumulates the point into the
+winning cluster's shared statistics (per-dimension sums plus a count).
+
+The shared data is tiny — ``k * (dims + 1)`` words — while thousands of
+transactions hammer it, which is precisely why the paper finds KM's conflict
+rate high and concludes it "does not benefit from STM parallelization"
+(Figure 2) and cannot fully utilize the SIMT lanes (Table 2).
+
+Verification recomputes every point's assignment on the host (centers are
+fixed within the kernel) and compares the exact accumulator sums and counts.
+"""
+
+from repro.common.rng import Xorshift32
+from repro.gpu.events import Phase
+from repro.stm.api import run_transaction
+from repro.workloads.base import KernelSpec, Workload
+
+
+class KMeans(Workload):
+    """One k-means accumulation iteration over shared cluster statistics."""
+
+    name = "km"
+    title = "k-means"
+
+    def __init__(
+        self,
+        num_points=512,
+        dims=4,
+        k=8,
+        grid=4,
+        block=32,
+        value_range=64,
+        compute_factor=3,
+        seed=31,
+    ):
+        self.num_points = num_points
+        self.dims = dims
+        self.k = k
+        self.grid = grid
+        self.block = block
+        self.value_range = value_range
+        self.compute_factor = compute_factor
+        self.seed = seed
+        self.points = None
+        self.centers = None
+        self.acc = None  # k * (dims + 1): per-cluster sums then count
+        self._host_points = []
+        self._host_centers = []
+
+    def setup(self, device):
+        rng = Xorshift32(self.seed)
+        self._host_points = [
+            [rng.randrange(self.value_range) for _ in range(self.dims)]
+            for _ in range(self.num_points)
+        ]
+        self._host_centers = [
+            [rng.randrange(self.value_range) for _ in range(self.dims)]
+            for _ in range(self.k)
+        ]
+        self.points = device.mem.alloc(self.num_points * self.dims, "km_points")
+        for index, point in enumerate(self._host_points):
+            for dim, value in enumerate(point):
+                device.mem.write(self.points + index * self.dims + dim, value)
+        self.centers = device.mem.alloc(self.k * self.dims, "km_centers")
+        for index, center in enumerate(self._host_centers):
+            for dim, value in enumerate(center):
+                device.mem.write(self.centers + index * self.dims + dim, value)
+        self.acc = device.mem.alloc(self.k * (self.dims + 1), "km_acc")
+
+    @property
+    def shared_data_size(self):
+        return self.k * (self.dims + 1)
+
+    def expected_commits(self):
+        return self.num_points  # one accumulation transaction per point
+
+    def nearest_center(self, point):
+        """Squared-distance argmin; deterministic tie-break on index."""
+        best, best_dist = 0, None
+        for index, center in enumerate(self._host_centers):
+            dist = sum((a - b) ** 2 for a, b in zip(point, center))
+            if best_dist is None or dist < best_dist:
+                best, best_dist = index, dist
+        return best
+
+    def kernels(self):
+        workload = self
+        dims = self.dims
+        stride = self.grid * self.block
+
+        def kernel(tc):
+            for point_index in range(tc.tid, workload.num_points, stride):
+                point = workload._host_points[point_index]
+                # native distance computation: k centers x dims, a few ops each
+                tc.work(workload.compute_factor * workload.k * dims, Phase.NATIVE)
+                yield
+                cluster = workload.nearest_center(point)
+                base = workload.acc + cluster * (dims + 1)
+
+                def body(stm, point=point, base=base):
+                    for dim in range(dims):
+                        current = yield from stm.tx_read(base + dim)
+                        if not stm.is_opaque:
+                            return False
+                        yield from stm.tx_write(base + dim, current + point[dim])
+                    count = yield from stm.tx_read(base + dims)
+                    if not stm.is_opaque:
+                        return False
+                    yield from stm.tx_write(base + dims, count + 1)
+                    return True
+
+                yield from run_transaction(tc, body)
+
+        return [KernelSpec("km", kernel, self.grid, self.block)]
+
+    def verify(self, device, runtime):
+        mem = device.mem
+        expected_sums = [[0] * self.dims for _ in range(self.k)]
+        expected_counts = [0] * self.k
+        for point in self._host_points:
+            cluster = self.nearest_center(point)
+            expected_counts[cluster] += 1
+            for dim in range(self.dims):
+                expected_sums[cluster][dim] += point[dim]
+        for cluster in range(self.k):
+            base = self.acc + cluster * (self.dims + 1)
+            for dim in range(self.dims):
+                actual = mem.read(base + dim)
+                if actual != expected_sums[cluster][dim]:
+                    raise AssertionError(
+                        "KM cluster %d dim %d sum %d != %d"
+                        % (cluster, dim, actual, expected_sums[cluster][dim])
+                    )
+            actual_count = mem.read(base + self.dims)
+            if actual_count != expected_counts[cluster]:
+                raise AssertionError(
+                    "KM cluster %d count %d != %d"
+                    % (cluster, actual_count, expected_counts[cluster])
+                )
+        if runtime.stats["commits"] != self.num_points:
+            raise AssertionError(
+                "KM commits %d != points %d"
+                % (runtime.stats["commits"], self.num_points)
+            )

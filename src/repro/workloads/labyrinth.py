@@ -1,0 +1,253 @@
+"""LB — *labyrinth*, ported from STAMP (paper sections 4.1-4.2).
+
+Lee-style maze routing: threads concurrently claim non-overlapping paths
+between endpoint pairs on one shared grid.  Following STAMP's structure (and
+the paper's port):
+
+* **planning is non-transactional** — the router breadth-first-searches a
+  private snapshot of the grid (weak isolation makes this legal; a stale
+  plan is caught at claim time).  The BFS is the workload's large native
+  phase, which is why LB spends the *smallest* proportion of time in
+  transactions (Table 1) yet still needs STM (a coarse lock would serialize
+  the whole route);
+* **claiming is one transaction** — re-read every cell of the planned path
+  (verifying it is still free) and write the path id into it.  A cell
+  claimed by a competitor aborts the attempt and triggers a re-plan on the
+  updated grid;
+* **one transactional thread per block** (paper section 4.2): lane 0 routes,
+  the sibling lanes model the cooperative expansion helpers with native
+  work.
+
+The grid (1.75 Ki cells at default scale, mirroring the paper's 1.75 M)
+exceeds the default 1 Ki version locks, so LB is — with RA — the workload
+where hierarchical validation visibly beats TBV.
+
+Invariant: claimed paths are pairwise disjoint (a cell holds one id),
+connected, and connect their endpoints.
+"""
+
+from collections import deque
+
+from repro.common.rng import Xorshift32
+from repro.gpu.events import Phase
+from repro.workloads.base import KernelSpec, Workload
+
+_OBSTACLE = 1
+_FIRST_PATH_ID = 2
+
+
+class Labyrinth(Workload):
+    """Concurrent maze routing on a shared grid."""
+
+    name = "lb"
+    title = "labyrinth"
+
+    def __init__(
+        self,
+        width=42,
+        height=42,
+        grid_blocks=8,
+        block_threads=4,
+        paths_per_router=2,
+        obstacle_density=0.1,
+        helper_work=16,
+        bfs_cost_factor=2,
+        max_route_distance=None,
+        seed=777,
+        max_replans=64,
+    ):
+        self.width = width
+        self.height = height
+        self.grid_blocks = grid_blocks
+        self.block_threads = block_threads
+        self.paths_per_router = paths_per_router
+        self.obstacle_density = obstacle_density
+        self.helper_work = helper_work
+        self.bfs_cost_factor = bfs_cost_factor
+        # Route locality: endpoints at most this Chebyshev distance apart
+        # (like real net-lists, where most wires are short).  None = anywhere.
+        self.max_route_distance = max_route_distance
+        self.seed = seed
+        self.max_replans = max_replans
+        self.grid = None
+        self.endpoints = []
+        self.routed = []  # (path_id, [cell indices]) recorded on commit
+        self.failed = 0
+
+    @property
+    def cells(self):
+        return self.width * self.height
+
+    def setup(self, device):
+        self.grid = device.mem.alloc(self.cells, "lb_grid")
+        rng = Xorshift32(self.seed)
+        free = []
+        for index in range(self.cells):
+            if rng.randrange(1000) < int(self.obstacle_density * 1000):
+                device.mem.write(self.grid + index, _OBSTACLE)
+            else:
+                free.append(index)
+        if not free:
+            raise ValueError(
+                "labyrinth has no free cells (obstacle_density=%s); no "
+                "endpoints can be drawn" % self.obstacle_density
+            )
+        # endpoint pairs, one list per router, drawn from free cells
+        self.endpoints = []
+        total_paths = self.grid_blocks * self.paths_per_router
+        for _ in range(total_paths):
+            src = free[rng.randrange(len(free))]
+            dst = self._pick_destination(rng, free, src)
+            self.endpoints.append((src, dst))
+        self.routed = []
+        self.failed = 0
+
+    def _pick_destination(self, rng, free, src):
+        """Pick a destination, optionally within max_route_distance of src."""
+        if self.max_route_distance is None:
+            return free[rng.randrange(len(free))]
+        sx, sy = src % self.width, src // self.width
+        reach = self.max_route_distance
+        nearby = [
+            cell
+            for cell in free
+            if abs(cell % self.width - sx) <= reach
+            and abs(cell // self.width - sy) <= reach
+        ]
+        return nearby[rng.randrange(len(nearby))]  # src itself is in `nearby`
+
+    @property
+    def max_path_length(self):
+        """Routes longer than this are declared unroutable (wirelength cap)."""
+        if self.max_route_distance is None:
+            return self.cells
+        return 4 * self.max_route_distance
+
+    @property
+    def shared_data_size(self):
+        return self.cells
+
+    def expected_commits(self):
+        return None  # dynamic: blocked routes are legal
+
+    def _neighbors(self, index):
+        x = index % self.width
+        y = index // self.width
+        if x > 0:
+            yield index - 1
+        if x < self.width - 1:
+            yield index + 1
+        if y > 0:
+            yield index - self.width
+        if y < self.height - 1:
+            yield index + self.width
+
+    def _plan(self, mem, src, dst):
+        """BFS over the router's private snapshot; returns a path or None.
+
+        Models STAMP labyrinth's private-copy expansion step; the simulated
+        cost is charged by the caller proportionally to cells explored.
+        """
+        if mem.read(self.grid + src) != 0 or mem.read(self.grid + dst) != 0:
+            return None, 0
+        parent = {src: src}
+        frontier = deque([src])
+        explored = 0
+        while frontier:
+            cell = frontier.popleft()
+            explored += 1
+            if cell == dst:
+                path = [cell]
+                while path[-1] != src:
+                    path.append(parent[path[-1]])
+                return path[::-1], explored
+            for neighbor in self._neighbors(cell):
+                if neighbor in parent:
+                    continue
+                if mem.read(self.grid + neighbor) != 0:
+                    continue
+                parent[neighbor] = cell
+                frontier.append(neighbor)
+        return None, explored
+
+    def kernels(self):
+        workload = self
+        grid = None  # resolved per launch from workload.grid
+        helpers = self.helper_work
+        paths = self.paths_per_router
+
+        def kernel(tc):
+            grid_base = workload.grid
+            if tc.lane_id != 0:
+                # expansion helpers: native assistance only (paper: one
+                # transactional thread per block)
+                for _ in range(paths):
+                    tc.work(helpers, Phase.NATIVE)
+                    yield
+                return
+            router = tc.block.index
+            stm = tc.stm
+            for k in range(paths):
+                path_number = router * paths + k
+                src, dst = workload.endpoints[path_number]
+                path_id = _FIRST_PATH_ID + path_number
+                replans = 0
+                while True:
+                    plan, explored = workload._plan(tc.mem, src, dst)
+                    # BFS cost: a couple of cycles per cell expanded
+                    tc.work(workload.bfs_cost_factor * max(explored, 1), Phase.NATIVE)
+                    yield
+                    if plan is None or len(plan) > workload.max_path_length:
+                        workload.failed += 1
+                        break
+                    yield from stm.tx_begin()
+                    blocked = False
+                    opaque = True
+                    for cell in plan:
+                        value = yield from stm.tx_read(grid_base + cell)
+                        if not stm.is_opaque:
+                            opaque = False
+                            break
+                        if value != 0:
+                            blocked = True
+                            break
+                    if opaque and not blocked:
+                        for cell in plan:
+                            yield from stm.tx_write(grid_base + cell, path_id)
+                        committed = yield from stm.tx_commit()
+                        if committed:
+                            workload.routed.append((path_id, plan))
+                            break
+                    else:
+                        yield from stm.tx_abort()
+                    replans += 1
+                    if replans > workload.max_replans:
+                        raise RuntimeError(
+                            "labyrinth router %d stuck re-planning" % router
+                        )
+
+        del grid
+        return [KernelSpec("lb", kernel, self.grid_blocks, self.block_threads)]
+
+    def verify(self, device, runtime):
+        mem = device.mem
+        claimed = {}
+        for index in range(self.cells):
+            value = mem.read(self.grid + index)
+            if value >= _FIRST_PATH_ID:
+                claimed.setdefault(value, set()).add(index)
+        recorded = {path_id: set(path) for path_id, path in self.routed}
+        if claimed != recorded:
+            raise AssertionError(
+                "LB grid claims disagree with recorded routes: %d vs %d paths"
+                % (len(claimed), len(recorded))
+            )
+        for path_id, path in self.routed:
+            src, dst = self.endpoints[path_id - _FIRST_PATH_ID]
+            if path[0] != src or path[-1] != dst:
+                raise AssertionError("LB path %d endpoints wrong" % path_id)
+            for a, b in zip(path, path[1:]):
+                if b not in self._neighbors(a):
+                    raise AssertionError("LB path %d not connected" % path_id)
+        if len(self.routed) + self.failed != len(self.endpoints):
+            raise AssertionError("LB route accounting mismatch")

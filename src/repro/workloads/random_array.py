@@ -1,0 +1,105 @@
+"""RA — the *random array* micro-benchmark (paper section 4.1, Figure 1).
+
+"Each transaction randomly accesses multiple locations of a shared array."
+Our accesses are balanced transfers — every action reads two distinct random
+cells and moves one unit between them — so the array sum is an exact
+atomicity invariant on top of the oracle, while the access pattern (uniform
+random reads and writes over a large shared array) matches the paper's: with
+the paper's geometry the shared data (8 M words) exceeds the version-lock
+table (1 M), making RA one of the two workloads where HV beats TBV.
+"""
+
+from repro.common.rng import Xorshift32, thread_seed
+from repro.gpu.events import Phase
+from repro.stm.api import run_transaction
+from repro.workloads.base import KernelSpec, Workload
+
+
+class RandomArray(Workload):
+    """Random balanced transfers over one shared array."""
+
+    name = "ra"
+    title = "random array"
+
+    def __init__(
+        self,
+        array_size=8192,
+        grid=8,
+        block=128,
+        txs_per_thread=2,
+        actions_per_tx=4,
+        native_work=4,
+        seed=2014,
+        fill=1000,
+    ):
+        if array_size < 2:
+            raise ValueError("array_size must be >= 2")
+        self.array_size = array_size
+        self.grid = grid
+        self.block = block
+        self.txs_per_thread = txs_per_thread
+        self.actions_per_tx = actions_per_tx
+        self.native_work = native_work
+        self.seed = seed
+        self.fill = fill
+        self.array = None
+
+    def setup(self, device):
+        self.array = device.mem.alloc(self.array_size, "ra_array", fill=self.fill)
+
+    @property
+    def shared_data_size(self):
+        return self.array_size
+
+    def expected_commits(self):
+        return self.grid * self.block * self.txs_per_thread
+
+    def kernels(self):
+        array = self.array
+        size = self.array_size
+        actions = self.actions_per_tx
+        txs = self.txs_per_thread
+        native = self.native_work
+        seed = self.seed
+
+        def kernel(tc):
+            rng = Xorshift32(thread_seed(seed, tc.tid))
+            for _ in range(txs):
+
+                def body(stm):
+                    for _action in range(actions):
+                        src_index = rng.randrange(size)
+                        dst_index = (src_index + 1 + rng.randrange(size - 1)) % size
+                        src = array + src_index
+                        dst = array + dst_index
+                        src_value = yield from stm.tx_read(src)
+                        if not stm.is_opaque:
+                            return False
+                        dst_value = yield from stm.tx_read(dst)
+                        if not stm.is_opaque:
+                            return False
+                        yield from stm.tx_write(src, src_value - 1)
+                        yield from stm.tx_write(dst, dst_value + 1)
+                    return True
+
+                yield from run_transaction(tc, body)
+                if native:
+                    # light non-transactional stretch between transactions
+                    tc.work(native, Phase.NATIVE)
+                    yield
+
+        return [KernelSpec("ra", kernel, self.grid, self.block)]
+
+    def verify(self, device, runtime):
+        values = device.mem.snapshot(self.array, self.array_size)
+        total = sum(values)
+        expected = self.fill * self.array_size
+        if total != expected:
+            raise AssertionError(
+                "RA sum invariant violated: %d != %d" % (total, expected)
+            )
+        if runtime.stats["commits"] != self.expected_commits():
+            raise AssertionError(
+                "RA commit count %d != expected %d"
+                % (runtime.stats["commits"], self.expected_commits())
+            )

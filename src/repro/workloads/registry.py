@@ -1,0 +1,30 @@
+"""Workload registry: names → classes, with paper-scaled defaults."""
+
+from repro.workloads.eigenbench import EigenBench
+from repro.workloads.genome import Genome
+from repro.workloads.hashtable import HashTable
+from repro.workloads.kmeans import KMeans
+from repro.workloads.labyrinth import Labyrinth
+from repro.workloads.random_array import RandomArray
+
+#: name → workload class, in the paper's presentation order
+WORKLOADS = {
+    "ra": RandomArray,
+    "ht": HashTable,
+    "eb": EigenBench,
+    "lb": Labyrinth,
+    "gn": Genome,
+    "km": KMeans,
+}
+
+
+def make_workload(name, **params):
+    """Instantiate workload ``name`` with parameter overrides."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown workload %r; expected one of %s"
+            % (name, ", ".join(sorted(WORKLOADS)))
+        ) from None
+    return cls(**params)

@@ -1,0 +1,5 @@
+"""Shared pytest configuration for the GPU-STM reproduction tests.
+
+Most tests build their devices inline (geometry is part of what they
+assert); the shared pieces live in ``tests/stm/helpers.py``.
+"""

@@ -1,0 +1,98 @@
+"""The memory coalescing cost model (paper section 3.1, "memory access
+coalescing" / coalesced read-/write-set organization)."""
+
+from hypothesis import given, strategies as st
+
+from repro.gpu import Device, GpuConfig
+from repro.gpu.config import small_config
+
+
+def _cycles_for_addresses(addresses, warp_size=4, line_words=32):
+    """Launch one warp where lane i reads addresses[i]; return kernel cycles."""
+    config = GpuConfig(
+        warp_size=warp_size,
+        num_sms=1,
+        line_words=line_words,
+        strict_lockstep=True,
+        check_bounds=True,
+    )
+    dev = Device(config)
+    base = dev.mem.alloc(4096)
+
+    def kernel(tc, base):
+        tc.gread(base + addresses[tc.lane_id])
+        yield
+
+    result = dev.launch(kernel, 1, warp_size, args=(base,))
+    return result.cycles, config
+
+
+class TestCoalescing:
+    def test_contiguous_reads_one_transaction(self):
+        cycles, config = _cycles_for_addresses([0, 1, 2, 3])
+        expected = config.costs.issue_cost + config.costs.mem_txn_cost
+        assert cycles == expected
+
+    def test_scattered_reads_pay_pipeline_per_extra_line(self):
+        cycles, config = _cycles_for_addresses([0, 100, 200, 300])
+        expected = (
+            config.costs.issue_cost
+            + config.costs.mem_txn_cost
+            + 3 * config.costs.mem_pipeline_cost
+        )
+        assert cycles == expected
+
+    def test_same_line_different_words_coalesce(self):
+        cycles, config = _cycles_for_addresses([0, 5, 17, 31])
+        expected = config.costs.issue_cost + config.costs.mem_txn_cost
+        assert cycles == expected
+
+    def test_two_lines(self):
+        cycles, config = _cycles_for_addresses([0, 1, 32, 33])
+        expected = (
+            config.costs.issue_cost
+            + config.costs.mem_txn_cost
+            + config.costs.mem_pipeline_cost
+        )
+        assert cycles == expected
+
+    def test_line_size_respected(self):
+        cycles, config = _cycles_for_addresses([0, 4, 8, 12], line_words=4)
+        expected = (
+            config.costs.issue_cost
+            + config.costs.mem_txn_cost
+            + 3 * config.costs.mem_pipeline_cost
+        )
+        assert cycles == expected
+
+
+@given(st.lists(st.integers(0, 4095), min_size=4, max_size=4))
+def test_transaction_count_equals_distinct_lines(addresses):
+    """Property: cost = issue + mem_txn + pipeline * (|lines| - 1)."""
+    cycles, config = _cycles_for_addresses(addresses)
+    lines = {addr // config.line_words for addr in addresses}
+    expected = (
+        config.costs.issue_cost
+        + config.costs.mem_txn_cost
+        + config.costs.mem_pipeline_cost * (len(lines) - 1)
+    )
+    assert cycles == expected
+
+
+class TestStepAccounting:
+    def test_reads_and_writes_are_separate_groups(self):
+        dev = Device(small_config(warp_size=4, num_sms=1))
+        base = dev.mem.alloc(64)
+
+        def kernel(tc, base):
+            if tc.lane_id < 2:
+                tc.gread(base + tc.lane_id)
+            else:
+                tc.gwrite(base + tc.lane_id, 1)
+            yield
+
+        result = dev.launch(kernel, 1, 4, args=(base,))
+        costs = dev.config.costs
+        # Two groups (read, write), each one line.
+        expected = 2 * (costs.issue_cost + costs.mem_txn_cost)
+        assert result.cycles == expected

@@ -1,0 +1,72 @@
+"""Divergence accounting: distinct (kind, phase) groups are distinct issues."""
+
+from repro.gpu import Device
+from repro.gpu.config import small_config
+from repro.gpu.events import Phase
+
+
+def run_warp(kernel, warp_size=4):
+    device = Device(small_config(warp_size=warp_size, num_sms=1))
+    base = device.mem.alloc(256)
+    result = device.launch(kernel, 1, warp_size, args=(base,))
+    return device, result
+
+
+class TestDivergenceCost:
+    def test_same_op_same_phase_single_issue(self):
+        def kernel(tc, base):
+            tc.gread(base + tc.lane_id, Phase.NATIVE)
+            yield
+
+        device, result = run_warp(kernel)
+        costs = device.config.costs
+        assert result.cycles == costs.issue_cost + costs.mem_txn_cost
+
+    def test_same_op_different_phase_two_issues(self):
+        """Lanes at different code points (phases) model divergent paths:
+        the step pays one issue per group."""
+
+        def kernel(tc, base):
+            phase = Phase.NATIVE if tc.lane_id < 2 else Phase.CONSISTENCY
+            tc.gread(base + tc.lane_id, phase)
+            yield
+
+        device, result = run_warp(kernel)
+        costs = device.config.costs
+        assert result.cycles == 2 * (costs.issue_cost + costs.mem_txn_cost)
+
+    def test_mixed_kinds_issue_per_kind(self):
+        def kernel(tc, base):
+            if tc.lane_id == 0:
+                tc.gread(base, Phase.NATIVE)
+            elif tc.lane_id == 1:
+                tc.gwrite(base + 64, 1, Phase.NATIVE)
+            elif tc.lane_id == 2:
+                tc.atomic_inc(base + 128, Phase.NATIVE)
+            else:
+                tc.fence(Phase.NATIVE)
+            yield
+
+        device, result = run_warp(kernel)
+        costs = device.config.costs
+        expected = (
+            (costs.issue_cost + costs.mem_txn_cost)      # read group
+            + (costs.issue_cost + costs.mem_txn_cost)    # write group
+            + (costs.issue_cost + costs.atomic_cost)     # atomic group
+            + (costs.issue_cost + costs.fence_cost)      # fence group
+        )
+        assert result.cycles == expected
+
+    def test_idle_lanes_do_not_add_issues(self):
+        """Lanes doing pure-compute yields share one free-ish slot when
+        another group is already issuing."""
+
+        def kernel(tc, base):
+            if tc.lane_id == 0:
+                tc.gread(base, Phase.NATIVE)
+            # other lanes yield without an op
+            yield
+
+        device, result = run_warp(kernel)
+        costs = device.config.costs
+        assert result.cycles == costs.issue_cost + costs.mem_txn_cost

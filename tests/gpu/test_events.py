@@ -1,0 +1,26 @@
+"""Phase and operation-kind constant tests."""
+
+from repro.gpu.events import OpKind, Phase
+
+
+class TestPhase:
+    def test_all_contains_every_figure5_phase(self):
+        assert set(Phase.ALL) == {
+            "native",
+            "init",
+            "buffering",
+            "consistency",
+            "locks",
+            "commit",
+            "aborted",
+        }
+
+    def test_phases_distinct(self):
+        assert len(set(Phase.ALL)) == len(Phase.ALL)
+
+
+class TestOpKind:
+    def test_kinds_distinct(self):
+        kinds = [OpKind.READ, OpKind.WRITE, OpKind.ATOMIC, OpKind.FENCE,
+                 OpKind.LOCAL, OpKind.L2_READ]
+        assert len(set(kinds)) == len(kinds)

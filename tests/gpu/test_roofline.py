@@ -1,0 +1,103 @@
+"""The DRAM-bandwidth roofline and the L2 metadata-read path."""
+
+from repro.gpu import Device, GpuConfig
+from repro.gpu.config import small_config
+from repro.gpu.events import Phase
+
+
+class TestRoofline:
+    def test_bandwidth_floor_binds_parallel_memory_storms(self):
+        """Many SMs issuing scattered traffic cannot beat the DRAM floor."""
+        config = GpuConfig(
+            warp_size=4, num_sms=8, strict_lockstep=True, check_bounds=True
+        )
+        device = Device(config)
+        base = device.mem.alloc(65536)
+
+        def kernel(tc, base):
+            for i in range(16):
+                tc.gread(base + (tc.tid * 1009 + i * 4093) % 65536)
+                yield
+
+        result = device.launch(kernel, 8, 4, args=(base,))
+        assert result.mem_txns == 8 * 4 * 16
+        assert result.bandwidth_cycles == result.mem_txns * config.costs.dram_txn_cost
+        assert result.cycles >= result.bandwidth_cycles
+
+    def test_compute_only_kernels_have_no_bandwidth_floor(self):
+        device = Device(small_config())
+
+        def kernel(tc):
+            tc.work(50)
+            yield
+
+        result = device.launch(kernel, 1, 4)
+        assert result.mem_txns == 0
+        assert result.bandwidth_cycles == 0
+
+
+class TestL2Reads:
+    def test_l2_read_returns_current_value(self):
+        device = Device(small_config(warp_size=1))
+        addr = device.mem.alloc(1, fill=77)
+        seen = []
+
+        def kernel(tc, addr):
+            seen.append(tc.gread_l2(addr))
+            yield
+
+        device.launch(kernel, 1, 1, args=(addr,))
+        assert seen == [77]
+
+    def test_l2_read_cheaper_than_dram_read(self):
+        def run(use_l2):
+            device = Device(small_config(warp_size=1, num_sms=1))
+            addr = device.mem.alloc(1)
+
+            def kernel(tc, addr):
+                for _ in range(8):
+                    if use_l2:
+                        tc.gread_l2(addr)
+                    else:
+                        tc.gread(addr)
+                    yield
+
+            return device.launch(kernel, 1, 1, args=(addr,))
+
+        l2_result = run(True)
+        dram_result = run(False)
+        assert l2_result.cycles < dram_result.cycles
+        assert l2_result.mem_txns == 0
+        assert dram_result.mem_txns == 8
+
+    def test_l2_reads_are_coherent_with_writes(self):
+        """Device-wide coherence at L2: a lane sees another lane's write on
+        the next step's L2 read (the property the version-lock table needs)."""
+        device = Device(small_config(warp_size=2, num_sms=1))
+        addr = device.mem.alloc(1)
+        observed = {}
+
+        def kernel(tc, addr):
+            if tc.lane_id == 0:
+                tc.gwrite(addr, 123)
+                yield
+            else:
+                yield  # let lane 0 write in step 1
+                observed[tc.tid] = tc.gread_l2(addr)
+                yield
+
+        device.launch(kernel, 1, 2, args=(addr,))
+        assert observed[1] == 123
+
+    def test_scattered_meta_ops_consume_bandwidth(self):
+        device = Device(small_config(warp_size=1, num_sms=1))
+
+        def kernel(tc):
+            tc.scattered_meta_ops(5, Phase.BUFFERING)
+            yield
+
+        result = device.launch(kernel, 1, 1)
+        assert result.mem_txns == 5
+        assert result.phases.as_dict()[Phase.BUFFERING] == (
+            5 * device.config.costs.mem_latency
+        )

@@ -1,0 +1,91 @@
+"""Warp scheduling policy: round robin vs. coarser multi-step turns."""
+
+import pytest
+
+from repro.gpu import Device, GpuConfig
+from repro.stm import StmConfig, make_runtime
+from tests.stm.helpers import counter_kernel
+
+
+def make_config(turn):
+    return GpuConfig(
+        warp_size=4,
+        num_sms=1,
+        warp_steps_per_turn=turn,
+        strict_lockstep=True,
+        check_bounds=True,
+        max_steps=2_000_000,
+    )
+
+
+class TestPolicyValidation:
+    def test_zero_turn_rejected(self):
+        with pytest.raises(ValueError):
+            GpuConfig(warp_steps_per_turn=0)
+
+
+class TestPolicySemantics:
+    def test_results_correct_under_any_policy(self):
+        for turn in (1, 4, 16):
+            device = Device(make_config(turn))
+            counter = device.mem.alloc(1)
+
+            def kernel(tc, counter):
+                for _ in range(3):
+                    tc.atomic_inc(counter)
+                    yield
+
+            device.launch(kernel, 2, 8, args=(counter,))
+            assert device.mem.read(counter) == 2 * 8 * 3, turn
+
+    def test_coarse_turns_reduce_interleaving(self):
+        """With a large turn quota, one warp's steps run back-to-back:
+        another warp's writes are not seen between them."""
+
+        def interleaving_witness(turn):
+            device = Device(make_config(turn))
+            base = device.mem.alloc(2)
+            changes = []
+
+            def kernel(tc, base):
+                slot = base + tc.warp.warp_id % 2
+                last = None
+                for i in range(8):
+                    tc.gwrite(slot, tc.tid * 100 + i)
+                    yield
+                    other = tc.mem.read(base + (1 - tc.warp.warp_id % 2))
+                    if last is not None and other != last:
+                        changes.append(1)
+                    last = other
+
+            device.launch(kernel, 2, 4, args=(base,))  # 2 blocks = 2 warps
+            return len(changes)
+
+        # round robin interleaves every step; a big quota interleaves rarely
+        assert interleaving_witness(1) > interleaving_witness(64)
+
+    def test_stm_still_livelock_free_with_coarse_turns(self):
+        device = Device(make_config(8))
+        data = device.mem.alloc(4, "data", fill=100)
+        runtime = make_runtime(
+            "hv-sorting", device, StmConfig(num_locks=4, shared_data_size=4)
+        )
+        device.launch(counter_kernel(data, 4), 2, 8, attach=runtime.attach)
+        assert device.mem.read(data) == 100 + 2 * 8 * 4
+
+    def test_conflict_rate_depends_on_policy(self):
+        """Coarser scheduling changes how often transactions overlap, which
+        the abort rate reflects (the scheduler-policy ablation's subject)."""
+
+        def abort_rate(turn):
+            device = Device(make_config(turn))
+            data = device.mem.alloc(4, "data", fill=0)
+            runtime = make_runtime(
+                "hv-sorting", device, StmConfig(num_locks=4, shared_data_size=4)
+            )
+            device.launch(counter_kernel(data, 4), 2, 8, attach=runtime.attach)
+            return runtime.abort_rate()
+
+        rates = {turn: abort_rate(turn) for turn in (1, 32)}
+        # both complete correctly; the rates differ measurably
+        assert rates[1] != rates[32]

@@ -1,0 +1,190 @@
+"""Device scheduling: block placement, residency, watchdog, results."""
+
+import pytest
+
+from repro.gpu import Device, GpuConfig, ProgressError
+from repro.gpu.config import CostModel, small_config
+from repro.gpu.errors import LaunchError
+
+
+def counting_kernel(tc, base):
+    tc.atomic_inc(base)
+    yield
+
+
+class TestLaunch:
+    def test_every_thread_runs(self):
+        dev = Device(small_config(warp_size=4, num_sms=2))
+        ctr = dev.mem.alloc(1)
+        result = dev.launch(counting_kernel, 8, 16, args=(ctr,))
+        assert dev.mem.read(ctr) == 8 * 16
+        assert result.threads == 8 * 16
+
+    def test_invalid_geometry_rejected(self):
+        dev = Device(small_config())
+        with pytest.raises(LaunchError):
+            dev.launch(counting_kernel, 0, 4, args=(0,))
+        with pytest.raises(LaunchError):
+            dev.launch(counting_kernel, 4, 0, args=(0,))
+
+    def test_more_blocks_than_sms(self):
+        dev = Device(small_config(warp_size=2, num_sms=2))
+        ctr = dev.mem.alloc(1)
+        dev.launch(counting_kernel, 16, 2, args=(ctr,))
+        assert dev.mem.read(ctr) == 32
+
+    def test_residency_limit_respected(self):
+        """Blocks beyond max_blocks_per_sm are queued, not resident."""
+        config = GpuConfig(
+            warp_size=2,
+            num_sms=1,
+            max_blocks_per_sm=2,
+            max_warps_per_sm=4,
+            strict_lockstep=True,
+            check_bounds=True,
+        )
+        dev = Device(config)
+        ctr = dev.mem.alloc(1)
+        result = dev.launch(counting_kernel, 6, 2, args=(ctr,))
+        assert dev.mem.read(ctr) == 12
+        assert result.threads == 12
+
+    def test_attach_callback_runs_per_thread(self):
+        dev = Device(small_config(warp_size=4))
+        attached = []
+
+        def attach(tc):
+            attached.append(tc.tid)
+            tc.stm = "sentinel"
+
+        def kernel(tc):
+            assert tc.stm == "sentinel"
+            yield
+
+        dev.launch(kernel, 2, 4, attach=attach)
+        assert sorted(attached) == list(range(8))
+
+    def test_kernel_exception_propagates(self):
+        dev = Device(small_config())
+
+        def kernel(tc):
+            yield
+            raise RuntimeError("kernel bug")
+
+        with pytest.raises(RuntimeError, match="kernel bug"):
+            dev.launch(kernel, 1, 2)
+
+
+class TestWatchdog:
+    def test_infinite_spin_raises_progress_error(self):
+        dev = Device(small_config(warp_size=2, max_steps=1000))
+
+        def kernel(tc):
+            while True:
+                tc.work(1)
+                yield
+
+        with pytest.raises(ProgressError) as exc:
+            dev.launch(kernel, 1, 2)
+        assert exc.value.steps > 1000
+        assert exc.value.snapshot["live_warps"]
+
+    def test_snapshot_names_live_warps(self):
+        dev = Device(small_config(warp_size=2, max_steps=500))
+
+        def kernel(tc):
+            if tc.lane_id == 0:
+                yield
+                return
+            while True:
+                yield
+
+        with pytest.raises(ProgressError) as exc:
+            dev.launch(kernel, 1, 2)
+        warps = exc.value.snapshot["live_warps"]
+        assert warps[0]["live_lanes"] == 1
+
+
+class TestCycleAccounting:
+    def test_cycles_positive_and_max_of_sms(self):
+        dev = Device(small_config(warp_size=4, num_sms=2))
+        ctr = dev.mem.alloc(1)
+        result = dev.launch(counting_kernel, 4, 4, args=(ctr,))
+        assert result.cycles == max(result.sm_cycles)
+        assert result.cycles > 0
+
+    def test_parallel_blocks_cheaper_than_serial(self):
+        """The same total work over more SMs takes fewer kernel cycles."""
+        work_kernel = counting_kernel
+
+        def run(num_sms):
+            dev = Device(small_config(warp_size=4, num_sms=num_sms))
+            ctr = dev.mem.alloc(1)
+            return dev.launch(work_kernel, 8, 4, args=(ctr,)).cycles
+
+        assert run(8) < run(1)
+
+    def test_divergent_steps_cost_more_than_uniform(self):
+        """Lanes doing different op kinds in a step cost extra issues."""
+
+        def uniform(tc, base):
+            tc.gwrite(base + tc.lane_id, 1)
+            yield
+
+        def divergent(tc, base):
+            if tc.lane_id % 2 == 0:
+                tc.gwrite(base + tc.lane_id, 1)
+            else:
+                tc.atomic_add(base + tc.lane_id, 1)
+            yield
+
+        dev_a = Device(small_config(warp_size=4))
+        base_a = dev_a.mem.alloc(4)
+        cycles_uniform = dev_a.launch(uniform, 1, 4, args=(base_a,)).cycles
+
+        dev_b = Device(small_config(warp_size=4))
+        base_b = dev_b.mem.alloc(4)
+        cycles_divergent = dev_b.launch(divergent, 1, 4, args=(base_b,)).cycles
+        assert cycles_divergent > cycles_uniform
+
+    def test_work_cycles_are_max_across_lanes(self):
+        config = small_config(warp_size=4, num_sms=1)
+        dev = Device(config)
+
+        def kernel(tc):
+            tc.work(100)
+            yield
+
+        result = dev.launch(kernel, 1, 4)
+        # one warp step: max(100 across lanes) = 100, not 400
+        assert result.cycles == 100
+
+    def test_fence_cost_charged(self):
+        dev = Device(small_config(warp_size=2))
+
+        def kernel(tc):
+            tc.fence()
+            yield
+
+        result = dev.launch(kernel, 1, 2)
+        assert result.cycles == dev.config.costs.issue_cost + dev.config.costs.fence_cost
+
+    def test_atomic_contention_serializes(self):
+        """Same-address atomics in one step cost more than distinct-address."""
+
+        def contended(tc, base):
+            tc.atomic_inc(base)
+            yield
+
+        def spread(tc, base):
+            tc.atomic_inc(base + tc.lane_id)
+            yield
+
+        dev_a = Device(small_config(warp_size=4))
+        base_a = dev_a.mem.alloc(4)
+        c_contended = dev_a.launch(contended, 1, 4, args=(base_a,)).cycles
+
+        dev_b = Device(small_config(warp_size=4))
+        base_b = dev_b.mem.alloc(4)
+        c_spread = dev_b.launch(spread, 1, 4, args=(base_b,)).cycles
+        assert c_contended > c_spread

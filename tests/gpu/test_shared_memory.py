@@ -1,0 +1,135 @@
+"""On-chip shared memory: per-block isolation, barriers, bank conflicts."""
+
+import pytest
+
+from repro.gpu import Device, GpuConfig
+from repro.gpu.config import small_config
+from repro.gpu.errors import MemoryFault
+
+
+class TestSharedMemoryBasics:
+    def test_read_after_write(self):
+        dev = Device(small_config(warp_size=2))
+        seen = []
+
+        def kernel(tc):
+            tc.smem_write(tc.lane_id, tc.tid + 50)
+            yield
+            seen.append(tc.smem_read(tc.lane_id))
+            yield
+
+        dev.launch(kernel, 1, 2, smem_words=4)
+        assert sorted(seen) == [50, 51]
+
+    def test_blocks_are_isolated(self):
+        dev = Device(small_config(warp_size=2))
+        observed = {}
+
+        def kernel(tc):
+            tc.smem_write(0, tc.block.index + 100)
+            yield
+            yield from tc.syncthreads()
+            observed[tc.tid] = tc.smem_read(0)
+            yield
+
+        dev.launch(kernel, 2, 2, smem_words=1)
+        # each block sees only its own value
+        assert observed[0] == observed[1] == 100
+        assert observed[2] == observed[3] == 101
+
+    def test_out_of_bounds_raises(self):
+        dev = Device(small_config(warp_size=1))
+
+        def kernel(tc):
+            tc.smem_read(10)
+            yield
+
+        with pytest.raises(MemoryFault, match="shared-memory"):
+            dev.launch(kernel, 1, 1, smem_words=4)
+
+    def test_zero_words_by_default(self):
+        dev = Device(small_config(warp_size=1))
+
+        def kernel(tc):
+            tc.smem_write(0, 1)
+            yield
+
+        with pytest.raises(MemoryFault):
+            dev.launch(kernel, 1, 1)
+
+    def test_shared_reduction_with_barrier(self):
+        """Classic block reduction: each lane deposits, lane 0 sums."""
+        dev = Device(small_config(warp_size=4))
+        totals = []
+
+        def kernel(tc):
+            tc.smem_write(tc.lane_id, tc.tid + 1)
+            yield
+            yield from tc.syncthreads()
+            if tc.lane_id == 0:
+                total = 0
+                for i in range(4):
+                    total += tc.smem_read(i)
+                    yield
+                totals.append(total)
+            yield
+
+        dev.launch(kernel, 1, 4, smem_words=4)
+        assert totals == [1 + 2 + 3 + 4]
+
+
+class TestBankConflicts:
+    def _cycles(self, offsets, banks=4):
+        config = GpuConfig(
+            warp_size=4,
+            num_sms=1,
+            smem_banks=banks,
+            strict_lockstep=True,
+            check_bounds=True,
+        )
+        dev = Device(config)
+
+        def kernel(tc):
+            tc.smem_read(offsets[tc.lane_id])
+            yield
+
+        return dev.launch(kernel, 1, 4, smem_words=64).cycles, config
+
+    def test_conflict_free_is_one_smem_cycle(self):
+        cycles, config = self._cycles([0, 1, 2, 3])  # distinct banks
+        assert cycles == config.costs.issue_cost + config.costs.smem_cost
+
+    def test_full_conflict_serializes(self):
+        cycles, config = self._cycles([0, 4, 8, 12])  # all bank 0
+        assert cycles == config.costs.issue_cost + 4 * config.costs.smem_cost
+
+    def test_partial_conflict(self):
+        cycles, config = self._cycles([0, 4, 1, 2])  # bank 0 twice
+        assert cycles == config.costs.issue_cost + 2 * config.costs.smem_cost
+
+    def test_no_dram_traffic(self):
+        dev = Device(small_config(warp_size=4))
+
+        def kernel(tc):
+            tc.smem_write(tc.lane_id, 1)
+            yield
+
+        result = dev.launch(kernel, 1, 4, smem_words=8)
+        assert result.mem_txns == 0
+
+    def test_cheaper_than_global_memory(self):
+        def run(use_smem):
+            dev = Device(small_config(warp_size=4, num_sms=1))
+            base = dev.mem.alloc(64)
+
+            def kernel(tc):
+                for i in range(4):
+                    if use_smem:
+                        tc.smem_read((tc.lane_id + i * 17) % 32)
+                    else:
+                        tc.gread(base + (tc.lane_id + i * 17) % 32)
+                    yield
+
+            return dev.launch(kernel, 1, 4, smem_words=32).cycles
+
+        assert run(True) < run(False)

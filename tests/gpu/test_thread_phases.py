@@ -1,0 +1,125 @@
+"""Per-lane phase attribution and the transaction cost window
+(the machinery behind the paper's Figure 5 breakdown)."""
+
+from repro.gpu import Device
+from repro.gpu.config import small_config
+from repro.gpu.events import Phase
+
+
+def run_single(kernel, *args):
+    dev = Device(small_config(warp_size=1, num_sms=1))
+    base = dev.mem.alloc(64)
+    result = dev.launch(kernel, 1, 1, args=(base,) + args)
+    return dev, result
+
+
+class TestPhaseCharging:
+    def test_read_charged_to_given_phase(self):
+        def kernel(tc, base):
+            tc.gread(base, Phase.CONSISTENCY)
+            yield
+
+        dev, result = run_single(kernel)
+        assert result.phases.as_dict() == {
+            Phase.CONSISTENCY: dev.config.costs.mem_latency
+        }
+
+    def test_mixed_phases_accumulate(self):
+        def kernel(tc, base):
+            tc.gread(base, Phase.NATIVE)
+            yield
+            tc.gwrite(base, 1, Phase.COMMIT)
+            yield
+            tc.fence(Phase.COMMIT)
+            yield
+            tc.work(13, Phase.INIT)
+            yield
+
+        dev, result = run_single(kernel)
+        costs = dev.config.costs
+        phases = result.phases.as_dict()
+        assert phases[Phase.NATIVE] == costs.mem_latency
+        assert phases[Phase.COMMIT] == costs.mem_latency + costs.fence_latency
+        assert phases[Phase.INIT] == 13
+
+    def test_local_op_charges_buffering(self):
+        def kernel(tc, base):
+            tc.local_op(Phase.BUFFERING, count=3)
+            yield
+
+        dev, result = run_single(kernel)
+        assert result.phases.as_dict() == {
+            Phase.BUFFERING: 3 * dev.config.costs.local_meta_cost
+        }
+
+
+class TestTxWindow:
+    def test_commit_keeps_phase_attribution(self):
+        def kernel(tc, base):
+            tc.tx_window_begin()
+            tc.gread(base, Phase.BUFFERING)
+            yield
+            tc.tx_window_commit()
+
+        dev, result = run_single(kernel)
+        assert result.phases.as_dict() == {
+            Phase.BUFFERING: dev.config.costs.mem_latency
+        }
+
+    def test_abort_reclassifies_to_aborted(self):
+        def kernel(tc, base):
+            tc.tx_window_begin()
+            tc.gread(base, Phase.BUFFERING)
+            yield
+            tc.gwrite(base, 1, Phase.COMMIT)
+            yield
+            tc.tx_window_abort()
+
+        dev, result = run_single(kernel)
+        phases = result.phases.as_dict()
+        total = 2 * dev.config.costs.mem_latency
+        assert phases[Phase.ABORTED] == total
+        assert phases.get(Phase.BUFFERING, 0) == 0
+        assert phases.get(Phase.COMMIT, 0) == 0
+
+    def test_costs_outside_window_untouched_by_abort(self):
+        def kernel(tc, base):
+            tc.gread(base, Phase.NATIVE)  # outside any window
+            yield
+            tc.tx_window_begin()
+            tc.gread(base, Phase.CONSISTENCY)
+            yield
+            tc.tx_window_abort()
+
+        dev, result = run_single(kernel)
+        phases = result.phases.as_dict()
+        assert phases[Phase.NATIVE] == dev.config.costs.mem_latency
+        assert phases[Phase.ABORTED] == dev.config.costs.mem_latency
+
+    def test_sequential_windows(self):
+        def kernel(tc, base):
+            tc.tx_window_begin()
+            tc.gread(base, Phase.BUFFERING)
+            yield
+            tc.tx_window_abort()
+            tc.tx_window_begin()
+            tc.gread(base, Phase.BUFFERING)
+            yield
+            tc.tx_window_commit()
+
+        dev, result = run_single(kernel)
+        phases = result.phases.as_dict()
+        assert phases[Phase.ABORTED] == dev.config.costs.mem_latency
+        assert phases[Phase.BUFFERING] == dev.config.costs.mem_latency
+
+    def test_fractions_sum_to_one(self):
+        def kernel(tc, base):
+            tc.work(10, Phase.NATIVE)
+            yield
+            tc.work(30, Phase.COMMIT)
+            yield
+
+        _dev, result = run_single(kernel)
+        fractions = result.phases.fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-12
+        assert fractions[Phase.NATIVE] == 0.25

@@ -1,0 +1,174 @@
+"""Lockstep semantics of warp execution.
+
+These tests pin the property the whole paper rests on: all lanes of a warp
+perform their step-k operations before any lane performs its step-k+1
+operation.
+"""
+
+import pytest
+
+from repro.gpu import Device, GpuError
+from repro.gpu.config import small_config
+
+
+def make_device(warp_size=4, **kw):
+    return Device(small_config(warp_size=warp_size, num_sms=1, **kw))
+
+
+class TestLockstepOrdering:
+    def test_step_k_before_step_k_plus_1(self):
+        """Each lane sees every other lane's step-1 write before its step-2 read."""
+        dev = make_device(warp_size=4)
+        base = dev.mem.alloc(4)
+
+        seen = {}
+
+        def kernel(tc, base):
+            tc.gwrite(base + tc.lane_id, 1 + tc.lane_id)
+            yield
+            total = 0
+            for i in range(4):
+                total += tc.mem.read(base + i)  # raw read: checking state only
+            seen[tc.tid] = total
+            yield
+
+        dev.launch(kernel, 1, 4, args=(base,))
+        # Every lane observed all four step-1 writes: 1+2+3+4 = 10.
+        assert all(total == 10 for total in seen.values())
+
+    def test_cas_same_address_single_winner_per_step(self):
+        """All lanes CAS the same word in one step; exactly one wins."""
+        dev = make_device(warp_size=4)
+        lock = dev.mem.alloc(1)
+        wins = []
+
+        def kernel(tc, lock):
+            old = tc.atomic_cas(lock, 0, tc.tid + 1)
+            yield
+            if old == 0:
+                wins.append(tc.tid)
+
+        dev.launch(kernel, 1, 4, args=(lock,))
+        assert len(wins) == 1
+        assert dev.mem.read(lock) == wins[0] + 1
+
+    def test_reverse_order_cas_both_fail_second_step(self):
+        """Two lanes grabbing two locks in reverse order both stall in step 2 —
+        the raw ingredient of the section 2.2 livelock."""
+        dev = make_device(warp_size=2)
+        locks = dev.mem.alloc(2)
+        outcome = {}
+
+        def kernel(tc, locks):
+            first, second = (locks, locks + 1) if tc.lane_id == 0 else (locks + 1, locks)
+            got_first = tc.atomic_cas(first, 0, 1) == 0
+            yield
+            got_second = tc.atomic_cas(second, 0, 1) == 0
+            yield
+            outcome[tc.lane_id] = (got_first, got_second)
+
+        dev.launch(kernel, 1, 2, args=(locks,))
+        assert outcome[0] == (True, False)
+        assert outcome[1] == (True, False)
+
+    def test_strict_lockstep_rejects_two_ops_per_step(self):
+        dev = make_device(warp_size=2)
+        base = dev.mem.alloc(2)
+
+        def kernel(tc, base):
+            tc.gwrite(base + tc.lane_id, 1)
+            tc.gwrite(base + tc.lane_id, 2)  # second op without a yield
+            yield
+
+        with pytest.raises(GpuError, match="lockstep"):
+            dev.launch(kernel, 1, 2, args=(base,))
+
+    def test_non_generator_kernel_rejected(self):
+        dev = make_device()
+
+        def not_a_kernel(tc):
+            return 42
+
+        with pytest.raises(GpuError, match="generator"):
+            dev.launch(not_a_kernel, 1, 2)
+
+
+class TestReconvergence:
+    def test_reconverge_releases_all_lanes(self):
+        dev = make_device(warp_size=4)
+        order = []
+
+        def kernel(tc):
+            # lanes do different amounts of pre-barrier work
+            for _ in range(tc.lane_id):
+                tc.work(1)
+                yield
+            yield from tc.reconverge("b")
+            order.append(("after", tc.lane_id))
+            yield
+
+        dev.launch(kernel, 1, 4)
+        # all four lanes got past the barrier
+        assert sorted(lane for _tag, lane in order) == [0, 1, 2, 3]
+
+    def test_reconverge_ignores_finished_lanes(self):
+        dev = make_device(warp_size=4)
+        passed = []
+
+        def kernel(tc):
+            if tc.lane_id < 2:
+                yield  # lanes 0-1 exit early
+                return
+            yield from tc.reconverge("b")
+            passed.append(tc.lane_id)
+            yield
+
+        dev.launch(kernel, 1, 4)
+        assert sorted(passed) == [2, 3]
+
+    def test_syncthreads_spans_warps(self):
+        dev = make_device(warp_size=2)
+        after = []
+
+        def kernel(tc):
+            for _ in range(tc.tid):
+                tc.work(1)
+                yield
+            yield from tc.syncthreads()
+            after.append(tc.tid)
+            yield
+
+        # 2 warps in one block of 4 threads
+        dev.launch(kernel, 1, 4)
+        assert sorted(after) == [0, 1, 2, 3]
+
+
+class TestWarpShared:
+    def test_warp_shared_dict_is_per_warp(self):
+        dev = make_device(warp_size=2)
+        snapshots = []
+
+        def kernel(tc):
+            tc.warp.shared.setdefault("members", []).append(tc.tid)
+            yield
+            snapshots.append((tc.tid, tuple(sorted(tc.warp.shared["members"]))))
+            yield
+
+        dev.launch(kernel, 1, 4)  # two warps of two lanes
+        by_tid = dict(snapshots)
+        assert by_tid[0] == (0, 1)
+        assert by_tid[1] == (0, 1)
+        assert by_tid[2] == (2, 3)
+        assert by_tid[3] == (2, 3)
+
+    def test_partial_last_warp(self):
+        """Block size not a multiple of warp size still runs every thread."""
+        dev = make_device(warp_size=4)
+        base = dev.mem.alloc(8)
+
+        def kernel(tc, base):
+            tc.gwrite(base + tc.tid, 1)
+            yield
+
+        dev.launch(kernel, 1, 6, args=(base,))
+        assert dev.mem.snapshot(base, 8) == [1, 1, 1, 1, 1, 1, 0, 0]

@@ -1,0 +1,69 @@
+"""Concurrency autotuner tests (the paper's future-work scheduler)."""
+
+import pytest
+
+from repro.harness.autotune import TuneStep, tune_concurrency
+from repro.harness.configs import unit_gpu
+from repro.workloads.random_array import RandomArray
+
+
+TOTAL_TXS = 128
+
+
+def ra_factory(grid, block):
+    txs = max(1, TOTAL_TXS // (grid * block))
+    return RandomArray(
+        array_size=512, grid=grid, block=block, txs_per_thread=txs, actions_per_tx=2
+    )
+
+
+class TestTuneConcurrency:
+    def test_finds_a_best_geometry(self):
+        result = tune_concurrency(
+            ra_factory,
+            "hv-sorting",
+            unit_gpu(),
+            geometries=[(1, 8), (2, 8), (4, 8), (8, 8)],
+            num_locks=64,
+        )
+        assert result.best is not None
+        assert result.best.cycles == min(step.cycles for step in result.steps)
+
+    def test_more_threads_help_low_conflict_workloads(self):
+        result = tune_concurrency(
+            ra_factory,
+            "hv-sorting",
+            unit_gpu(),
+            geometries=[(1, 8), (4, 8)],
+            num_locks=64,
+            patience=5,
+        )
+        assert result.best.threads > 8
+
+    def test_stops_after_patience_regressions(self):
+        calls = []
+
+        def factory(grid, block):
+            calls.append((grid, block))
+            return ra_factory(grid, block)
+
+        tune_concurrency(
+            factory,
+            "hv-sorting",
+            unit_gpu(),
+            geometries=[(4, 8), (2, 8), (1, 8), (1, 4), (1, 2)],
+            num_locks=64,
+            patience=0,  # bail on the first regression
+        )
+        # descending ladder: geometry 1 is best, later ones regress; with
+        # patience 0 at most two regressions are probed
+        assert len(calls) <= 4
+
+    def test_empty_geometries_rejected(self):
+        with pytest.raises(ValueError):
+            tune_concurrency(ra_factory, "hv-sorting", unit_gpu(), geometries=[])
+
+    def test_step_repr_and_threads(self):
+        step = TuneStep(4, 8, 1000, 0.25)
+        assert step.threads == 32
+        assert "25%" in repr(step)

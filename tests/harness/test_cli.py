@@ -1,0 +1,21 @@
+"""The `python -m repro.harness` command-line interface."""
+
+import pytest
+
+from repro.harness.__main__ import TARGETS, main
+
+
+class TestCli:
+    def test_targets_cover_every_artifact(self):
+        assert set(TARGETS) == {"table1", "table2", "fig2", "fig3", "fig4", "fig5"}
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])
+
+    @pytest.mark.slow
+    def test_fig5_quick_end_to_end(self, capsys):
+        assert main(["fig5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "regenerated" in out

@@ -1,0 +1,77 @@
+"""Experiment drivers: quick-mode smoke tests plus renderer checks on
+synthetic results (full-geometry runs live in benchmarks/)."""
+
+import pytest
+
+from repro.gpu.events import Phase
+from repro.harness import experiments
+
+
+class TestQuickRuns:
+    @pytest.mark.slow
+    def test_fig5_quick(self):
+        result = experiments.fig5(quick=True)
+        labels = [label for label, _ in result.rows]
+        assert labels == ["GN-1", "GN-2", "LB", "KM"]
+        rendered = result.render()
+        assert "Figure 5" in rendered
+        for _, fractions in result.rows:
+            assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    @pytest.mark.slow
+    def test_table1_quick(self):
+        result = experiments.table1(quick=True)
+        workloads = {row["workload"] for row in result.rows}
+        assert workloads == {"ra", "ht", "eb", "lb", "gn", "km"}
+        kernels = [row["kernel"] for row in result.rows]
+        assert "gn-1" in kernels and "gn-2" in kernels
+        assert "Table 1" in result.render()
+
+    @pytest.mark.slow
+    def test_ablations_quick(self):
+        result = experiments.ablations(quick=True)
+        assert result.sorting["unsorted_livelocks"]
+        assert result.sorting["sorted_commits"] == 2
+        assert "LIVELOCK" in result.render()
+
+
+class TestRenderers:
+    def test_fig2_result_renders_crashes(self):
+        result = experiments.Fig2Result()
+        for workload in experiments.FIG2_WORKLOADS:
+            result.speedups[workload] = {
+                variant: None if variant == "egpgv" else 2.0
+                for variant in experiments.FIG2_VARIANTS
+            }
+        rendered = result.render()
+        assert "crash" in rendered
+        assert "2.00x" in rendered
+
+    def test_fig3_result_normalizes(self):
+        result = experiments.Fig3Result("ra", [32, 64])
+        result.cycles["hv-sorting"] = [1000, 500]
+        result.cycles["egpgv"] = [1000, None]
+        assert result.normalized("hv-sorting") == [1.0, 2.0]
+        assert result.normalized("egpgv") == [1.0, None]
+        assert "crash" in result.render()
+
+    def test_fig4_result_renders_grid(self):
+        result = experiments.Fig4Result([1024], [256], [64])
+        result.points[(1024, 256, 64, "hv")] = (2.0, 0.1)
+        result.points[(1024, 256, 64, "tbv")] = (1.5, 0.4)
+        rendered = result.render()
+        assert "Figure 4(a)" in rendered
+        assert "2.00x" in rendered
+        assert "40%" in rendered
+
+    def test_fig5_result_renders_phases(self):
+        result = experiments.Fig5Result()
+        result.rows.append(("GN-1", {Phase.NATIVE: 0.5, Phase.COMMIT: 0.5}))
+        rendered = result.render()
+        assert "50.0%" in rendered
+
+    def test_table2_result_renders(self):
+        result = experiments.Table2Result()
+        result.rows.append(("ra", 8, 32, 12345))
+        rendered = result.render()
+        assert "12345" in rendered

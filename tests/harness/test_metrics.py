@@ -1,0 +1,44 @@
+"""Metric helper tests."""
+
+import pytest
+
+from repro.harness.metrics import crossover_index, geometric_mean, speedup
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(100, 50) == 2.0
+
+    def test_slower_than_baseline(self):
+        assert speedup(50, 100) == 0.5
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(100, 0)
+
+
+class TestGeometricMean:
+    def test_single(self):
+        assert geometric_mean([4.0]) == 4.0
+
+    def test_pair(self):
+        assert abs(geometric_mean([1.0, 4.0]) - 2.0) < 1e-12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestCrossover:
+    def test_found(self):
+        assert crossover_index([1, 2, 5], [3, 3, 3]) == 2
+
+    def test_not_found(self):
+        assert crossover_index([1, 1], [2, 2]) is None
+
+    def test_none_values_skipped(self):
+        assert crossover_index([None, 5], [1, 3]) == 1

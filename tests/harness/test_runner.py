@@ -1,0 +1,97 @@
+"""Runner and experiment-driver tests at tiny geometries."""
+
+import pytest
+
+from repro.harness.configs import (
+    bench_workload_params,
+    egpgv_workload_params,
+    test_workload_params as tiny_params,
+    unit_gpu,
+)
+from repro.harness.runner import run_workload
+from repro.stm.errors import EgpgvCapacityError
+from repro.workloads import make_workload
+
+
+class TestRunWorkload:
+    def test_result_fields_populated(self):
+        workload = make_workload("ra", **tiny_params("ra"))
+        result = run_workload(workload, "hv-sorting", unit_gpu(), num_locks=64)
+        assert result.workload == "ra"
+        assert result.variant == "hv-sorting"
+        assert result.cycles > 0
+        assert result.commits == workload.expected_commits()
+        assert 0 <= result.tx_time_fraction <= 1
+        assert not result.crashed
+
+    def test_commit_count_mismatch_detected(self):
+        workload = make_workload("ra", **tiny_params("ra"))
+        workload.expected_commits = lambda: 999999  # sabotage
+        with pytest.raises(AssertionError, match="commit"):
+            run_workload(workload, "hv-sorting", unit_gpu(), num_locks=64)
+
+    def test_egpgv_crash_propagates_without_allow(self):
+        workload = make_workload("ra", **tiny_params("ra"))
+        with pytest.raises(EgpgvCapacityError):
+            run_workload(
+                workload,
+                "egpgv",
+                unit_gpu(),
+                num_locks=64,
+                stm_overrides={"egpgv_max_blocks": 1},
+            )
+
+    def test_egpgv_crash_recorded_with_allow(self):
+        workload = make_workload("ra", **tiny_params("ra"))
+        result = run_workload(
+            workload,
+            "egpgv",
+            unit_gpu(),
+            num_locks=64,
+            stm_overrides={"egpgv_max_blocks": 1},
+            allow_crash=True,
+        )
+        assert result.crashed
+        assert "block" in result.crash_reason
+
+    def test_locklog_comparisons_surfaced(self):
+        workload = make_workload("ra", **tiny_params("ra"))
+        result = run_workload(workload, "hv-sorting", unit_gpu(), num_locks=64)
+        assert result.stats["locklog_comparisons"] >= 0
+
+
+class TestConfigs:
+    def test_bench_params_exist_for_all(self):
+        for name in ("ra", "ht", "eb", "lb", "gn", "km"):
+            assert bench_workload_params(name)
+            assert tiny_params(name)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            bench_workload_params("nope")
+        with pytest.raises(ValueError):
+            tiny_params("nope")
+
+    def test_egpgv_params_preserve_total_work(self):
+        for name in ("ra", "ht", "eb"):
+            base = bench_workload_params(name)
+            folded = egpgv_workload_params(name)
+            base_total = base["grid"] * base["block"] * base["txs_per_thread"]
+            folded_total = folded["grid"] * folded["block"] * folded["txs_per_thread"]
+            assert folded_total == base_total
+            assert folded["grid"] <= 4
+
+    def test_egpgv_params_lb_paths_preserved(self):
+        base = bench_workload_params("lb")
+        folded = egpgv_workload_params("lb")
+        assert (
+            base["grid_blocks"] * base["paths_per_router"]
+            == folded["grid_blocks"] * folded["paths_per_router"]
+        )
+
+    def test_egpgv_params_gn_segments_preserved(self):
+        base = bench_workload_params("gn")
+        folded = egpgv_workload_params("gn")
+        base_total = base["grid"] * base["block"] * base["segments_per_thread"]
+        folded_total = folded["grid"] * folded["block"] * folded["segments_per_thread"]
+        assert base_total == folded_total

@@ -1,0 +1,48 @@
+"""Tracer + runner integration: tracing a full workload run."""
+
+from repro.gpu import Device
+from repro.harness.configs import test_workload_params as tiny_params, unit_gpu
+from repro.stm import StmConfig, make_runtime
+from repro.stm.trace import TxTracer
+from repro.workloads import make_workload
+
+
+def traced_workload_run(name, variant="hv-sorting"):
+    workload = make_workload(name, **tiny_params(name))
+    device = Device(unit_gpu())
+    workload.setup(device)
+    runtime = make_runtime(
+        variant,
+        device,
+        StmConfig(num_locks=64, shared_data_size=workload.shared_data_size),
+    )
+    tracer = TxTracer()
+    runtime.tracer = tracer
+    for spec in workload.kernels():
+        device.launch(
+            spec.kernel, spec.grid, spec.block, args=spec.args, attach=runtime.attach
+        )
+    workload.verify(device, runtime)
+    return runtime, tracer
+
+
+class TestTraceIntegration:
+    def test_km_trace_shows_conflict_hotspot(self):
+        runtime, tracer = traced_workload_run("km")
+        assert len(tracer.commits()) == runtime.stats["commits"]
+        # KM is the conflict-heavy workload: aborts appear in the trace
+        assert tracer.aborts()
+        assert tracer.hottest_threads(top=1)
+
+    def test_ra_trace_footprints_match_workload(self):
+        runtime, tracer = traced_workload_run("ra")
+        params = tiny_params("ra")
+        for event in tracer.commits():
+            # each RA action reads 2 cells and writes 2 cells
+            assert event.reads <= 2 * params["actions_per_tx"]
+            assert 1 <= event.writes <= 2 * params["actions_per_tx"]
+
+    def test_cgl_trace_has_no_aborts(self):
+        _runtime, tracer = traced_workload_run("ra", "cgl")
+        assert tracer.aborts() == []
+        assert tracer.commits()

@@ -1,0 +1,92 @@
+"""Shared helpers for STM runtime tests: kernels, launch wrappers."""
+
+from repro.common.rng import Xorshift32, thread_seed
+from repro.gpu import Device
+from repro.gpu.config import small_config
+from repro.stm import StmConfig, make_runtime, run_transaction
+
+ALL_VARIANTS = (
+    "cgl",
+    "egpgv",
+    "vbv",
+    "tbv-sorting",
+    "hv-sorting",
+    "hv-backoff",
+    "optimized",
+    "hv-adaptive",  # the future-work extension must satisfy everything too
+)
+
+TM_VARIANTS = tuple(v for v in ALL_VARIANTS if v != "cgl")
+
+
+def make_stm_device(
+    variant,
+    data_size=64,
+    fill=100,
+    num_locks=16,
+    warp_size=4,
+    num_sms=2,
+    max_steps=5_000_000,
+    **config_overrides,
+):
+    """Build a (device, runtime, data_base, initial_snapshot) quadruple."""
+    device = Device(small_config(warp_size=warp_size, num_sms=num_sms, max_steps=max_steps))
+    data = device.mem.alloc(data_size, "data", fill=fill)
+    defaults = dict(
+        num_locks=num_locks,
+        shared_data_size=data_size,
+        record_history=True,
+        egpgv_max_blocks=8,
+        egpgv_max_threads_per_block=32,
+    )
+    defaults.update(config_overrides)
+    runtime = make_runtime(variant, device, StmConfig(**defaults))
+    initial = list(device.mem.words)
+    return device, runtime, data, initial
+
+
+def transfer_kernel(data, size, txs_per_thread, moves_per_tx, seed):
+    """Each transaction moves one unit between distinct random cells;
+    the array sum is the atomicity invariant."""
+
+    def kernel(tc):
+        rng = Xorshift32(thread_seed(seed, tc.tid))
+        for _ in range(txs_per_thread):
+
+            def body(stm):
+                for _move in range(moves_per_tx):
+                    src_index = rng.randrange(size)
+                    dst_index = (src_index + 1 + rng.randrange(size - 1)) % size
+                    src = data + src_index
+                    dst = data + dst_index
+                    src_value = yield from stm.tx_read(src)
+                    if not stm.is_opaque:
+                        return False
+                    dst_value = yield from stm.tx_read(dst)
+                    if not stm.is_opaque:
+                        return False
+                    yield from stm.tx_write(src, src_value - 1)
+                    yield from stm.tx_write(dst, dst_value + 1)
+                return True
+
+            yield from run_transaction(tc, body, max_restarts=100_000)
+
+    return kernel
+
+
+def counter_kernel(counter, txs_per_thread):
+    """Each transaction increments one shared counter transactionally."""
+
+    def kernel(tc):
+        for _ in range(txs_per_thread):
+
+            def body(stm):
+                value = yield from stm.tx_read(counter)
+                if not stm.is_opaque:
+                    return False
+                yield from stm.tx_write(counter, value + 1)
+                return True
+
+            yield from run_transaction(tc, body, max_restarts=100_000)
+
+    return kernel

@@ -1,0 +1,45 @@
+"""Abort hygiene: failed transactions must leave no metadata residue."""
+
+import pytest
+
+from repro.stm.versionlock import version_of
+from tests.stm.helpers import counter_kernel, make_stm_device
+
+LOCK_TABLE_VARIANTS = ("tbv-sorting", "hv-sorting", "hv-backoff", "hv-adaptive", "optimized")
+
+
+@pytest.mark.parametrize("variant", LOCK_TABLE_VARIANTS)
+class TestLockTableHygieneUnderAborts:
+    def test_no_locks_leaked_after_contended_run(self, variant):
+        """A contention storm (single counter, tiny lock budget, max one
+        acquisition attempt) forces many releases-on-failure; every lock
+        must still end up free."""
+        device, runtime, data, _ = make_stm_device(
+            variant, data_size=4, num_locks=4, max_lock_attempts=1
+        )
+        device.launch(counter_kernel(data, 4), 2, 8, attach=runtime.attach)
+        assert runtime.stats["aborts"] > 0  # the storm actually happened
+        assert runtime.lock_table.locked_count() == 0
+        assert device.mem.read(data) == 100 + 2 * 8 * 4
+
+    def test_versions_monotone_and_bounded(self, variant):
+        device, runtime, data, _ = make_stm_device(
+            variant, data_size=4, num_locks=4, max_lock_attempts=1
+        )
+        device.launch(counter_kernel(data, 3), 2, 8, attach=runtime.attach)
+        clock = runtime.clock.peek(device.mem)
+        assert clock == runtime.stats["commits"]
+        for index in range(runtime.lock_table.num_locks):
+            word = runtime.lock_table.peek(index)
+            assert version_of(word) <= clock
+
+    def test_abort_reasons_partition_aborts(self, variant):
+        device, runtime, data, _ = make_stm_device(
+            variant, data_size=4, num_locks=4, max_lock_attempts=1
+        )
+        device.launch(counter_kernel(data, 3), 2, 8, attach=runtime.attach)
+        stats = runtime.stats.as_dict()
+        reason_total = sum(
+            count for name, count in stats.items() if name.startswith("aborts.")
+        )
+        assert reason_total == stats.get("aborts", 0)

@@ -1,0 +1,85 @@
+"""Public API: registry, configuration, the run_transaction driver."""
+
+import pytest
+
+from repro.gpu import Device
+from repro.gpu.config import small_config
+from repro.stm import STM_VARIANTS, StmConfig, make_runtime, run_transaction
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", STM_VARIANTS)
+    def test_every_listed_variant_constructs(self, name):
+        device = Device(small_config())
+        runtime = make_runtime(name, device, StmConfig(shared_data_size=64))
+        assert runtime.name == name
+
+    def test_unknown_variant_rejected(self):
+        device = Device(small_config())
+        with pytest.raises(ValueError, match="unknown STM variant"):
+            make_runtime("tl2", device)
+
+    def test_default_config_used_when_none(self):
+        device = Device(small_config())
+        runtime = make_runtime("hv-sorting", device)
+        assert runtime.lock_table.num_locks == StmConfig().num_locks
+
+    def test_config_num_locks_respected(self):
+        device = Device(small_config())
+        runtime = make_runtime("tbv-sorting", device, StmConfig(num_locks=64))
+        assert runtime.lock_table.num_locks == 64
+
+
+class TestRunTransaction:
+    def test_none_body_result_means_success(self):
+        device = Device(small_config(warp_size=1))
+        data = device.mem.alloc(4)
+        runtime = make_runtime("hv-sorting", device, StmConfig(num_locks=4))
+
+        def kernel(tc):
+            def body(stm):
+                yield from stm.tx_write(data, 1)
+                # no explicit return: None means "commit me"
+
+            yield from run_transaction(tc, body)
+
+        device.launch(kernel, 1, 1, attach=runtime.attach)
+        assert device.mem.read(data) == 1
+
+    def test_max_restarts_enforced(self):
+        device = Device(small_config(warp_size=1))
+        device.mem.alloc(4)
+        runtime = make_runtime("hv-sorting", device, StmConfig(num_locks=4))
+
+        def kernel(tc):
+            def body(stm):
+                return False  # always claims opacity loss
+                yield  # pragma: no cover
+
+            yield from run_transaction(tc, body, max_restarts=3)
+
+        with pytest.raises(RuntimeError, match="restarts"):
+            device.launch(kernel, 1, 1, attach=runtime.attach)
+
+    def test_retry_until_commit(self):
+        """A body that fails twice then succeeds commits exactly once."""
+        device = Device(small_config(warp_size=1))
+        data = device.mem.alloc(4)
+        runtime = make_runtime("hv-sorting", device, StmConfig(num_locks=4))
+        attempts = []
+
+        def kernel(tc):
+            def body(stm):
+                attempts.append(1)
+                if len(attempts) < 3:
+                    return False
+                yield from stm.tx_write(data, len(attempts))
+                return True
+
+            yield from run_transaction(tc, body)
+
+        device.launch(kernel, 1, 1, attach=runtime.attach)
+        assert len(attempts) == 3
+        assert device.mem.read(data) == 3
+        assert runtime.stats["commits"] == 1
+        assert runtime.stats["aborts.opacity"] == 2

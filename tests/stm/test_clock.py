@@ -1,0 +1,41 @@
+"""Global clock tests."""
+
+from repro.gpu import Device
+from repro.gpu.config import small_config
+from repro.stm import StmConfig, make_runtime
+from repro.stm.clock import GlobalClock
+from tests.stm.helpers import counter_kernel, make_stm_device
+
+
+class TestGlobalClock:
+    def test_starts_at_zero(self):
+        device = Device(small_config())
+        clock = GlobalClock(device.mem)
+        assert clock.peek(device.mem) == 0
+
+    def test_one_tick_per_writer_commit(self):
+        device, runtime, data, _ = make_stm_device("hv-sorting", data_size=4)
+        device.launch(counter_kernel(data, 3), 1, 8, attach=runtime.attach)
+        assert runtime.clock.peek(device.mem) == runtime.stats["commits"] == 24
+
+    def test_read_only_commits_do_not_tick(self):
+        device, runtime, data, _ = make_stm_device("hv-sorting", data_size=4)
+
+        def kernel(tc):
+            from repro.stm import run_transaction
+
+            def body(stm):
+                yield from stm.tx_read(data)
+                return stm.is_opaque
+
+            yield from run_transaction(tc, body, max_restarts=10)
+
+        device.launch(kernel, 1, 4, attach=runtime.attach)
+        assert runtime.stats["commits"] == 4
+        assert runtime.clock.peek(device.mem) == 0
+
+    def test_distinct_names_allocate_distinct_words(self):
+        device = Device(small_config())
+        a = GlobalClock(device.mem, name="clock_a")
+        b = GlobalClock(device.mem, name="clock_b")
+        assert a.addr != b.addr

@@ -1,0 +1,117 @@
+"""STM-EGPGV: block-granularity transactions and static capacity limits."""
+
+import pytest
+
+from repro.gpu import Device
+from repro.gpu.config import small_config
+from repro.stm import EgpgvCapacityError, StmConfig, make_runtime, run_transaction
+from tests.stm.helpers import make_stm_device, transfer_kernel
+
+
+class TestCapacity:
+    def test_too_many_blocks_crashes(self):
+        device, runtime, data, _ = make_stm_device(
+            "egpgv", data_size=16, egpgv_max_blocks=2
+        )
+        kernel = transfer_kernel(data, 16, txs_per_thread=1, moves_per_tx=1, seed=1)
+        with pytest.raises(EgpgvCapacityError, match="blocks"):
+            device.launch(kernel, 4, 4, attach=runtime.attach)
+
+    def test_too_wide_block_crashes(self):
+        device, runtime, data, _ = make_stm_device(
+            "egpgv", data_size=16, egpgv_max_threads_per_block=4
+        )
+        kernel = transfer_kernel(data, 16, txs_per_thread=1, moves_per_tx=1, seed=1)
+        with pytest.raises(EgpgvCapacityError, match="width"):
+            device.launch(kernel, 1, 8, attach=runtime.attach)
+
+    def test_oversized_transaction_crashes(self):
+        device = Device(small_config(warp_size=2, num_sms=1))
+        data = device.mem.alloc(64, "data")
+        runtime = make_runtime(
+            "egpgv",
+            device,
+            StmConfig(num_locks=64, egpgv_max_accesses=4),
+        )
+
+        def kernel(tc):
+            def body(stm):
+                for i in range(16):  # touches 16 stripes > capacity 4
+                    yield from stm.tx_write(data + i, i)
+                return True
+
+            yield from run_transaction(tc, body, max_restarts=10)
+
+        with pytest.raises(EgpgvCapacityError, match="stripes"):
+            device.launch(kernel, 1, 1, attach=runtime.attach)
+
+    def test_within_capacity_runs(self):
+        device, runtime, data, _ = make_stm_device("egpgv", data_size=16)
+        kernel = transfer_kernel(data, 16, txs_per_thread=2, moves_per_tx=1, seed=8)
+        device.launch(kernel, 2, 8, attach=runtime.attach)
+        assert sum(device.mem.snapshot(data, 16)) == 16 * 100
+
+
+class TestBlockGranularity:
+    def test_one_live_transaction_per_block(self):
+        """At any instant at most one lane per block is inside a
+        transaction — the defining EGPGV limitation."""
+        device, runtime, data, _ = make_stm_device("egpgv", data_size=16)
+        live = {}
+        max_live = {}
+
+        def kernel(tc):
+            def body(stm):
+                block = tc.block.index
+                live[block] = live.get(block, 0) + 1
+                max_live[block] = max(max_live.get(block, 0), live[block])
+                value = yield from stm.tx_read(data + tc.tid % 16)
+                if not stm.is_opaque:
+                    live[block] -= 1
+                    return False
+                yield from stm.tx_write(data + tc.tid % 16, value + 1)
+                live[block] -= 1
+                return True
+
+            yield from run_transaction(tc, body, max_restarts=1000)
+
+        device.launch(kernel, 2, 8, attach=runtime.attach)
+        assert max(max_live.values()) == 1
+
+    def test_locks_all_released(self):
+        device, runtime, data, _ = make_stm_device("egpgv", data_size=16)
+        kernel = transfer_kernel(data, 16, txs_per_thread=2, moves_per_tx=2, seed=13)
+        device.launch(kernel, 2, 8, attach=runtime.attach)
+        assert runtime.lock_table.locked_count() == 0
+
+    def test_blocking_conflict_aborts_and_retries(self):
+        """Crossed encounter orders across blocks abort-and-retry instead of
+        deadlocking."""
+        device = Device(small_config(warp_size=1, num_sms=2, max_steps=2_000_000))
+        data = device.mem.alloc(8, "data")
+        runtime = make_runtime(
+            "egpgv",
+            device,
+            StmConfig(num_locks=8, egpgv_max_blocks=8, egpgv_max_threads_per_block=8),
+        )
+
+        def kernel(tc):
+            first, second = (data, data + 1) if tc.block.index == 0 else (data + 1, data)
+
+            def body(stm):
+                a = yield from stm.tx_read(first)
+                if not stm.is_opaque:
+                    return False
+                b = yield from stm.tx_read(second)
+                if not stm.is_opaque:
+                    return False
+                yield from stm.tx_write(first, a + 1)
+                yield from stm.tx_write(second, b + 1)
+                return True
+
+            yield from run_transaction(tc, body, max_restarts=100_000)
+
+        device.launch(kernel, 2, 1, attach=runtime.attach)
+        assert runtime.stats["commits"] == 2
+        assert device.mem.read(data) == 2
+        assert device.mem.read(data + 1) == 2

@@ -1,0 +1,231 @@
+"""Algorithm 3 specifics: lock-table hygiene, version management,
+post-validation, commit-time locking of reads AND writes."""
+
+import pytest
+
+from repro.gpu import Device
+from repro.gpu.config import small_config
+from repro.stm import StmConfig, make_runtime, run_transaction
+from repro.stm.versionlock import is_locked, version_of
+from tests.stm.helpers import make_stm_device, transfer_kernel
+
+
+def launch_transfers(variant="hv-sorting", **kw):
+    device, runtime, data, initial = make_stm_device(variant, data_size=32, **kw)
+    kernel = transfer_kernel(data, 32, txs_per_thread=2, moves_per_tx=2, seed=21)
+    device.launch(kernel, 2, 8, attach=runtime.attach)
+    return device, runtime, data
+
+
+class TestLockTableHygiene:
+    @pytest.mark.parametrize("variant", ["hv-sorting", "tbv-sorting", "hv-backoff"])
+    def test_all_locks_released_at_kernel_end(self, variant):
+        _device, runtime, _data = launch_transfers(variant)
+        assert runtime.lock_table.locked_count() == 0
+
+    def test_versions_bounded_by_clock(self):
+        device, runtime, _data = launch_transfers()
+        clock = runtime.clock.peek(device.mem)
+        assert runtime.lock_table.max_version() <= clock
+        assert clock == runtime.stats["commits"]  # every commit bumped it
+
+    def test_written_stripes_carry_commit_versions(self):
+        device, runtime, data, _ = make_stm_device("hv-sorting", data_size=8)
+
+        def kernel(tc):
+            def body(stm):
+                value = yield from stm.tx_read(data + tc.tid)
+                if not stm.is_opaque:
+                    return False
+                yield from stm.tx_write(data + tc.tid, value + 1)
+                return True
+
+            yield from run_transaction(tc, body, max_restarts=1000)
+
+        device.launch(kernel, 1, 4, attach=runtime.attach)
+        touched_versions = set()
+        for tid in range(4):
+            index = runtime.lock_table.index_of(data + tid)
+            word = runtime.lock_table.peek(index)
+            assert not is_locked(word)
+            touched_versions.add(version_of(word))
+        # four writers, four distinct commit versions
+        assert touched_versions == {1, 2, 3, 4}
+
+
+class TestReadBarrier:
+    def test_read_waits_for_committing_locker(self):
+        """A reader encountering a locked stripe spins until release and
+        then observes the committed value (Algorithm 3 lines 27-29)."""
+        device = Device(small_config(warp_size=2, num_sms=1, max_steps=200_000))
+        data = device.mem.alloc(4, "data")
+        runtime = make_runtime(
+            "hv-sorting", device, StmConfig(num_locks=4, shared_data_size=4)
+        )
+        order = []
+
+        def kernel(tc):
+            if tc.lane_id == 0:
+                # writer: long write-set commit holding the stripe lock
+                def body(stm):
+                    for i in range(4):
+                        yield from stm.tx_write(data + i, 5 + i)
+                    return True
+
+                yield from run_transaction(tc, body, max_restarts=100)
+                order.append("writer-done")
+            else:
+                # reader: starts while the writer commits
+                for _ in range(6):
+                    tc.work(1)
+                    yield
+
+                def body(stm):
+                    value = yield from stm.tx_read(data)
+                    if not stm.is_opaque:
+                        return False
+                    order.append(("read", value))
+                    return True
+
+                yield from run_transaction(tc, body, max_restarts=100)
+
+        device.launch(kernel, 1, 2, attach=runtime.attach)
+        read_values = [
+            entry[1] for entry in order if isinstance(entry, tuple) and entry[0] == "read"
+        ]
+        assert read_values[-1] in (0, 5)  # pre- or post-commit, never torn
+        assert runtime.stats["commits"] == 2
+
+    def test_opacity_flag_set_on_stale_read_tbv(self):
+        """Pure TBV: reading a stripe whose version passed the snapshot
+        clears is_opaque (no VBV rescue)."""
+        device = Device(small_config(warp_size=2, num_sms=1, max_steps=200_000))
+        data = device.mem.alloc(4, "data")
+        runtime = make_runtime(
+            "tbv-sorting", device, StmConfig(num_locks=4, shared_data_size=4)
+        )
+        opacity_losses = []
+
+        def kernel(tc):
+            if tc.lane_id == 0:
+                # mutator: bump data[1] so the reader's snapshot goes stale
+                def body(stm):
+                    value = yield from stm.tx_read(data + 1)
+                    if not stm.is_opaque:
+                        return False
+                    yield from stm.tx_write(data + 1, value + 1)
+                    return True
+
+                yield from run_transaction(tc, body, max_restarts=100)
+            else:
+                def body(stm):
+                    value = yield from stm.tx_read(data)  # snapshot taken early
+                    if not stm.is_opaque:
+                        return False
+                    # idle long enough for the mutator to commit
+                    for _ in range(40):
+                        tc.work(1)
+                        yield
+                    value2 = yield from stm.tx_read(data + 1)
+                    if not stm.is_opaque:
+                        opacity_losses.append(tc.tid)
+                        return False
+                    yield from stm.tx_write(data, value + value2)
+                    return True
+
+                yield from run_transaction(tc, body, max_restarts=100)
+
+        device.launch(kernel, 1, 2, attach=runtime.attach)
+        assert opacity_losses  # the stale read was caught
+        assert runtime.stats["postvalidation_failures"] >= 1
+        assert runtime.stats["commits"] == 2  # both eventually committed
+
+
+class TestCommitProtocol:
+    def test_reads_locked_during_commit(self):
+        """Crossed read/write pairs within one warp (the T1/T2 example at
+        the end of section 3.2.2): locking reads as well as writes lets one
+        of them commit instead of mutual eternal aborts."""
+        device = Device(small_config(warp_size=2, num_sms=1, max_steps=400_000))
+        data = device.mem.alloc(4, "data")
+        runtime = make_runtime(
+            "hv-sorting", device, StmConfig(num_locks=4, shared_data_size=4)
+        )
+        x, y = data, data + 1
+
+        def kernel(tc):
+            mine, theirs = (x, y) if tc.lane_id == 0 else (y, x)
+
+            def body(stm):
+                observed = yield from stm.tx_read(theirs)
+                if not stm.is_opaque:
+                    return False
+                yield from stm.tx_write(mine, observed + 1)
+                return True
+
+            yield from run_transaction(tc, body, max_restarts=10_000)
+
+        device.launch(kernel, 1, 2, attach=runtime.attach)
+        assert runtime.stats["commits"] == 2
+
+    def test_lock_contention_abort_after_max_attempts(self):
+        device, runtime, data, _ = make_stm_device(
+            "hv-sorting", data_size=4, num_locks=4, max_lock_attempts=1
+        )
+        from tests.stm.helpers import counter_kernel
+
+        device.launch(counter_kernel(data, 4), 1, 8, attach=runtime.attach)
+        assert device.mem.read(data) == 100 + 32
+        # with a single permitted attempt, contention shows up as aborts
+        assert runtime.stats["aborts.lock_contention"] >= 0
+
+    def test_duplicate_addresses_lock_once(self):
+        """Writing the same stripe many times acquires its lock once."""
+        device, runtime, data, _ = make_stm_device("hv-sorting", data_size=8)
+
+        def kernel(tc):
+            def body(stm):
+                for i in range(6):
+                    yield from stm.tx_write(data, i)
+                return True
+
+            yield from run_transaction(tc, body, max_restarts=10)
+
+        device.launch(kernel, 1, 1, attach=runtime.attach)
+        assert device.mem.read(data) == 5
+        # one lock entry -> exactly one atomic_or in commit
+        assert runtime.stats["commits"] == 1
+
+    def test_write_only_transaction_commits_without_validation(self):
+        device, runtime, data, _ = make_stm_device("tbv-sorting", data_size=8)
+
+        def kernel(tc):
+            def body(stm):
+                yield from stm.tx_write(data + tc.tid, tc.tid)
+                return True
+
+            yield from run_transaction(tc, body, max_restarts=10)
+
+        device.launch(kernel, 1, 4, attach=runtime.attach)
+        assert device.mem.snapshot(data, 4) == [0, 1, 2, 3]
+        assert runtime.stats["commits"] == 4
+
+
+class TestBloomFilterPath:
+    def test_bloom_avoids_global_read_on_own_write(self):
+        """Reading an address just written stays entirely local."""
+        device, runtime, data, _ = make_stm_device("hv-sorting", data_size=8)
+
+        def kernel(tc):
+            def body(stm):
+                yield from stm.tx_write(data, 42)
+                value = yield from stm.tx_read(data)
+                assert value == 42
+                return True
+
+            yield from run_transaction(tc, body, max_restarts=10)
+
+        device.launch(kernel, 1, 1, attach=runtime.attach)
+        # the own-write read never touched the read-set
+        record = runtime.history[0]
+        assert record.reads == []

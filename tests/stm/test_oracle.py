@@ -1,0 +1,101 @@
+"""The serializability oracle must itself catch violations (meta-tests)."""
+
+import pytest
+
+from repro.gpu.memory import GlobalMemory
+from repro.stm.oracle import SerializabilityViolation, check_history
+from repro.stm.runtime.base import CommitRecord
+
+
+def make_mem(words):
+    mem = GlobalMemory()
+    mem.alloc(len(words))
+    for index, value in enumerate(words):
+        mem.write(index, value)
+    return mem
+
+
+class TestOracleAccepts:
+    def test_empty_history(self):
+        mem = make_mem([0, 0])
+        assert check_history([], [0, 0], mem) == 0
+
+    def test_serial_chain(self):
+        initial = [10, 20]
+        history = [
+            CommitRecord(0, 1, reads=[(0, 10)], writes={0: 11}),
+            CommitRecord(1, 2, reads=[(0, 11)], writes={0: 12}),
+        ]
+        mem = make_mem([12, 20])
+        assert check_history(history, initial, mem) == 2
+
+    def test_read_only_after_writer_same_version(self):
+        initial = [10]
+        history = [
+            CommitRecord(0, 1, reads=[], writes={0: 11}),
+            # read-only that snapshotted AFTER writer 1
+            CommitRecord(1, 1, reads=[(0, 11)], writes={}),
+        ]
+        mem = make_mem([11])
+        assert check_history(history, initial, mem) == 2
+
+    def test_read_only_before_any_writer(self):
+        initial = [10]
+        history = [
+            CommitRecord(1, 0, reads=[(0, 10)], writes={}),
+            CommitRecord(0, 1, reads=[], writes={0: 11}),
+        ]
+        mem = make_mem([11])
+        assert check_history(history, initial, mem) == 2
+
+    def test_own_write_read_allowed(self):
+        initial = [5]
+        history = [CommitRecord(0, 1, reads=[(0, 9)], writes={0: 9})]
+        mem = make_mem([9])
+        assert check_history(history, initial, mem) == 1
+
+    def test_unsorted_input_is_sorted_by_version(self):
+        initial = [0]
+        history = [
+            CommitRecord(1, 2, reads=[(0, 1)], writes={0: 2}),
+            CommitRecord(0, 1, reads=[(0, 0)], writes={0: 1}),
+        ]
+        mem = make_mem([2])
+        assert check_history(history, initial, mem) == 2
+
+
+class TestOracleRejects:
+    def test_stale_read(self):
+        initial = [10]
+        history = [
+            CommitRecord(0, 1, reads=[], writes={0: 11}),
+            CommitRecord(1, 2, reads=[(0, 10)], writes={0: 12}),  # stale!
+        ]
+        mem = make_mem([12])
+        with pytest.raises(SerializabilityViolation, match="read addr"):
+            check_history(history, initial, mem)
+
+    def test_lost_update(self):
+        """Two writers based on the same read: the classic lost update."""
+        initial = [10]
+        history = [
+            CommitRecord(0, 1, reads=[(0, 10)], writes={0: 11}),
+            CommitRecord(1, 2, reads=[(0, 10)], writes={0: 11}),  # should be 11
+        ]
+        mem = make_mem([11])
+        with pytest.raises(SerializabilityViolation):
+            check_history(history, initial, mem)
+
+    def test_final_memory_mismatch(self):
+        initial = [0]
+        history = [CommitRecord(0, 1, reads=[], writes={0: 7})]
+        mem = make_mem([99])  # device disagrees
+        with pytest.raises(SerializabilityViolation, match="final memory"):
+            check_history(history, initial, mem)
+
+    def test_dirty_read_of_never_committed_value(self):
+        initial = [1]
+        history = [CommitRecord(0, 1, reads=[(0, 42)], writes={0: 2})]
+        mem = make_mem([2])
+        with pytest.raises(SerializabilityViolation):
+            check_history(history, initial, mem)

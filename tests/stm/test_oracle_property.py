@@ -1,0 +1,74 @@
+"""Property tests for the serializability oracle: genuinely serial
+histories are accepted; corrupted ones are rejected."""
+
+from hypothesis import given, strategies as st
+
+import pytest
+
+from repro.gpu.memory import GlobalMemory
+from repro.stm.oracle import SerializabilityViolation, check_history
+from repro.stm.runtime.base import CommitRecord
+
+MEM_SIZE = 8
+
+tx_strategy = st.tuples(
+    st.lists(st.integers(0, MEM_SIZE - 1), max_size=3),                 # read addrs
+    st.dictionaries(st.integers(0, MEM_SIZE - 1), st.integers(0, 99),   # writes
+                    max_size=3),
+)
+
+
+def serial_history(transactions):
+    """Apply transactions serially; produce records + final memory."""
+    state = {addr: 0 for addr in range(MEM_SIZE)}
+    history = []
+    version = 0
+    for tid, (read_addrs, writes) in enumerate(transactions):
+        reads = [(addr, state[addr]) for addr in read_addrs]
+        if writes:
+            version += 1
+            record_version = version
+        else:
+            record_version = version  # read-only at current point
+        for addr, value in writes.items():
+            state[addr] = value
+        history.append(CommitRecord(tid, record_version, reads, dict(writes)))
+    mem = GlobalMemory()
+    mem.alloc(MEM_SIZE)
+    for addr, value in state.items():
+        mem.write(addr, value)
+    return history, mem
+
+
+@given(st.lists(tx_strategy, min_size=1, max_size=12))
+def test_serial_histories_accepted(transactions):
+    history, mem = serial_history(transactions)
+    assert check_history(history, [0] * MEM_SIZE, mem) == len(history)
+
+
+@given(st.lists(tx_strategy, min_size=1, max_size=12))
+def test_corrupted_read_rejected(transactions):
+    history, mem = serial_history(transactions)
+    # corrupt the first record that has a read the tx did not itself write
+    for record in history:
+        for index, (addr, value) in enumerate(record.reads):
+            if addr not in record.writes:
+                record.reads[index] = (addr, value + 1000)
+                with pytest.raises(SerializabilityViolation):
+                    check_history(history, [0] * MEM_SIZE, mem)
+                return
+    # no corruptible read existed (all-write history): nothing to assert
+
+
+@given(st.lists(tx_strategy, min_size=1, max_size=12))
+def test_corrupted_final_memory_rejected(transactions):
+    history, mem = serial_history(transactions)
+    written = set()
+    for record in history:
+        written.update(record.writes)
+    if not written:
+        return
+    target = next(iter(written))
+    mem.write(target, mem.read(target) + 12345)
+    with pytest.raises(SerializabilityViolation):
+        check_history(history, [0] * MEM_SIZE, mem)

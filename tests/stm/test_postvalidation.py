@@ -1,0 +1,156 @@
+"""Post-validation mechanics (Algorithm 3 lines 6-20), driven adversarially.
+
+One lane runs a transaction while a colluding lane mutates data words and
+version-lock words underneath it at scripted steps, exercising the
+restart-and-extend-snapshot loop and the abort path.
+"""
+
+from repro.gpu import Device
+from repro.gpu.config import small_config
+from repro.stm import StmConfig, make_runtime, run_transaction
+from repro.stm.versionlock import make_version_lock
+
+
+def build(variant="hv-sorting"):
+    device = Device(small_config(warp_size=2, num_sms=1, max_steps=300_000))
+    data = device.mem.alloc(8, "data", fill=5)
+    runtime = make_runtime(
+        variant, device, StmConfig(num_locks=8, shared_data_size=8)
+    )
+    return device, runtime, data
+
+
+class TestPostValidationRestart:
+    def test_version_bump_during_vbv_restarts_postvalidation(self):
+        """The saboteur bumps the stripe version of an already-read word
+        *without changing its value* while the victim is mid-post-validation.
+        The victim must restart the check, extend its snapshot, and commit."""
+        device, runtime, data = build()
+        table = runtime.lock_table
+        victim_done = []
+
+        def kernel(tc):
+            if tc.lane_id == 0:
+                # victim: two reads; the second read's version is pre-bumped
+                # so post-validation runs, and during it the saboteur keeps
+                # nudging versions of read stripes (values unchanged).
+                def body(stm):
+                    first = yield from stm.tx_read(data)
+                    if not stm.is_opaque:
+                        return False
+                    second = yield from stm.tx_read(data + 1)
+                    if not stm.is_opaque:
+                        return False
+                    yield from stm.tx_write(data + 2, first + second)
+                    return True
+
+                yield from run_transaction(tc, body, max_restarts=100)
+                victim_done.append(True)
+            else:
+                # saboteur: raw metadata writes, values untouched
+                # step a few times, then bump the version of data+1's stripe
+                for _ in range(4):
+                    tc.work(1)
+                    yield
+                stripe = table.index_of(data + 1)
+                tc.mem.write(table.lock_addr(stripe), make_version_lock(7))
+                yield
+                # while the victim revalidates, bump data's stripe version too
+                stripe0 = table.index_of(data)
+                tc.mem.write(table.lock_addr(stripe0), make_version_lock(9))
+                yield
+
+        device.launch(kernel, 1, 2, attach=runtime.attach)
+        assert victim_done == [True]
+        assert runtime.stats["commits"] == 1
+        # HV rescued the stale snapshot: either the read barrier's
+        # post-validation ran (with possible restarts) or commit-time VBV did
+        assert (
+            runtime.stats["hv_read_saves"] + runtime.stats["hv_commit_saves"] >= 1
+        )
+
+    def test_value_change_fails_postvalidation(self):
+        """If the *value* of a read word changed, post-validation fails and
+        the opacity flag drops (line 33)."""
+        device, runtime, data = build()
+        table = runtime.lock_table
+        opacity_losses = []
+
+        def kernel(tc):
+            if tc.lane_id == 0:
+
+                def body(stm):
+                    first = yield from stm.tx_read(data)
+                    if not stm.is_opaque:
+                        opacity_losses.append("first")
+                        return False
+                    for _ in range(8):
+                        tc.work(1)
+                        yield
+                    second = yield from stm.tx_read(data + 1)
+                    if not stm.is_opaque:
+                        opacity_losses.append("second")
+                        return False
+                    yield from stm.tx_write(data + 2, first + second)
+                    return True
+
+                yield from run_transaction(tc, body, max_restarts=100)
+            else:
+                for _ in range(4):
+                    tc.work(1)
+                    yield
+                # change data's VALUE and bump the stripe version of data+1
+                # so the victim's second read triggers post-validation,
+                # whose VBV then sees the changed first read
+                tc.mem.write(data, 999)
+                yield
+                tc.mem.write(
+                    table.lock_addr(table.index_of(data + 1)), make_version_lock(3)
+                )
+                yield
+
+        device.launch(kernel, 1, 2, attach=runtime.attach)
+        assert "second" in opacity_losses
+        assert runtime.stats["postvalidation_failures"] >= 1
+        assert runtime.stats["commits"] == 1  # the retry succeeded
+
+    def test_tbv_aborts_without_vbv_rescue(self):
+        """Same version-only bump, but under pure TBV: no VBV rescue, the
+        stale snapshot is fatal for that attempt."""
+        device, runtime, data = build("tbv-sorting")
+        table = runtime.lock_table
+
+        def kernel(tc):
+            if tc.lane_id == 0:
+
+                def body(stm):
+                    first = yield from stm.tx_read(data)
+                    if not stm.is_opaque:
+                        return False
+                    for _ in range(8):
+                        tc.work(1)
+                        yield
+                    second = yield from stm.tx_read(data + 1)
+                    if not stm.is_opaque:
+                        return False
+                    yield from stm.tx_write(data + 2, first + second)
+                    return True
+
+                yield from run_transaction(tc, body, max_restarts=100)
+            else:
+                for _ in range(4):
+                    tc.work(1)
+                    yield
+                tc.mem.write(
+                    table.lock_addr(table.index_of(data + 1)), make_version_lock(3)
+                )
+                yield
+                # advance the global clock as a real committer would have,
+                # so the victim's retry snapshot covers version 3
+                tc.mem.write(runtime.clock.addr, 3)
+                yield
+
+        device.launch(kernel, 1, 2, attach=runtime.attach)
+        assert runtime.stats["postvalidation_failures"] >= 1
+        assert runtime.stats["aborts.opacity"] >= 1
+        assert runtime.stats["commits"] == 1

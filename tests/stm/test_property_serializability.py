@@ -1,0 +1,67 @@
+"""Hypothesis-driven serializability hunt: randomized transactional
+workloads over every runtime must replay cleanly through the oracle."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.stm.oracle import check_history
+from tests.stm.helpers import ALL_VARIANTS, make_stm_device
+from repro.common.rng import Xorshift32, thread_seed
+from repro.stm import run_transaction
+
+
+def random_mix_kernel(data, size, program):
+    """Each thread executes ``program``: a list of per-tx op lists, where an
+    op is ("r", offset) or ("w", offset, delta)."""
+
+    def kernel(tc):
+        rng = Xorshift32(thread_seed(997, tc.tid))
+        for ops in program:
+
+            def body(stm, ops=ops):
+                accumulator = tc.tid
+                for op in ops:
+                    if op[0] == "r":
+                        value = yield from stm.tx_read(data + op[1] % size)
+                        if not stm.is_opaque:
+                            return False
+                        accumulator ^= value
+                    else:
+                        offset = op[1] % size
+                        current = yield from stm.tx_read(data + offset)
+                        if not stm.is_opaque:
+                            return False
+                        yield from stm.tx_write(
+                            data + offset, current + op[2] + (accumulator & 1)
+                        )
+                return True
+
+            yield from run_transaction(tc, body, max_restarts=100_000)
+        del rng
+
+    return kernel
+
+
+op_strategy = st.one_of(
+    st.tuples(st.just("r"), st.integers(0, 31)),
+    st.tuples(st.just("w"), st.integers(0, 31), st.integers(-3, 3)),
+)
+program_strategy = st.lists(
+    st.lists(op_strategy, min_size=1, max_size=4), min_size=1, max_size=2
+)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(program=program_strategy, variant=st.sampled_from(ALL_VARIANTS))
+def test_random_workloads_strictly_serializable(program, variant):
+    device, runtime, data, initial = make_stm_device(
+        variant, data_size=32, num_locks=8, max_steps=8_000_000
+    )
+    kernel = random_mix_kernel(data, 32, program)
+    device.launch(kernel, 2, 8, attach=runtime.attach)
+    check_history(runtime.history, initial, device.mem)
+    expected_commits = 16 * len(program)
+    assert runtime.stats["commits"] == expected_commits

@@ -1,0 +1,51 @@
+"""Registry/documentation coherence: names, exports, docstrings."""
+
+import repro
+from repro.gpu import Device
+from repro.gpu.config import small_config
+from repro.stm import EXTENSION_VARIANTS, STM_VARIANTS, StmConfig, make_runtime
+
+
+class TestRegistryCoherence:
+    def test_paper_variants_are_exactly_the_evaluated_seven(self):
+        assert STM_VARIANTS == (
+            "cgl",
+            "egpgv",
+            "vbv",
+            "tbv-sorting",
+            "hv-sorting",
+            "hv-backoff",
+            "optimized",
+        )
+
+    def test_extensions_disjoint_from_paper_set(self):
+        assert not set(STM_VARIANTS) & set(EXTENSION_VARIANTS)
+
+    def test_every_name_round_trips(self):
+        for name in STM_VARIANTS + EXTENSION_VARIANTS:
+            device = Device(small_config())
+            runtime = make_runtime(name, device, StmConfig(shared_data_size=64))
+            assert runtime.name == name
+
+    def test_every_runtime_class_documented(self):
+        for name in STM_VARIANTS + EXTENSION_VARIANTS:
+            device = Device(small_config())
+            runtime = make_runtime(name, device, StmConfig(shared_data_size=64))
+            assert type(runtime).__doc__, name
+            assert type(runtime).__module__.startswith("repro.stm.runtime")
+
+    def test_top_level_exports_work(self):
+        assert repro.Device is Device
+        assert callable(repro.make_runtime)
+        assert callable(repro.run_transaction)
+        assert callable(repro.make_workload)
+        assert set(repro.WORKLOADS) == {"ra", "ht", "eb", "lb", "gn", "km"}
+
+    def test_per_thread_transaction_flag(self):
+        """Only EGPGV lacks per-thread transactions — the paper's central
+        differentiator."""
+        for name in STM_VARIANTS + EXTENSION_VARIANTS:
+            device = Device(small_config())
+            runtime = make_runtime(name, device, StmConfig(shared_data_size=64))
+            expected = name != "egpgv"
+            assert runtime.per_thread_transactions == expected, name

@@ -1,0 +1,83 @@
+"""TxTracer: the transaction-event tracing facility."""
+
+import os
+
+from repro.stm.trace import TxEvent, TxTracer
+from tests.stm.helpers import counter_kernel, make_stm_device
+
+
+def traced_run(variant="hv-sorting", capacity=None):
+    device, runtime, data, _ = make_stm_device(variant, data_size=4)
+    tracer = TxTracer(capacity=capacity)
+    runtime.tracer = tracer
+    device.launch(counter_kernel(data, 3), 1, 8, attach=runtime.attach)
+    return runtime, tracer
+
+
+class TestTracer:
+    def test_commit_events_match_stats(self):
+        runtime, tracer = traced_run()
+        assert len(tracer.commits()) == runtime.stats["commits"]
+        assert len(tracer.aborts()) == runtime.stats["aborts"]
+
+    def test_abort_reason_histogram(self):
+        runtime, tracer = traced_run()
+        histogram = tracer.abort_reasons()
+        assert sum(histogram.values()) == runtime.stats["aborts"]
+        for reason, count in histogram.items():
+            assert runtime.stats["aborts.%s" % reason] == count
+
+    def test_events_are_ordered(self):
+        _runtime, tracer = traced_run()
+        sequences = [event.sequence for event in tracer.events]
+        assert sequences == sorted(sequences)
+
+    def test_commit_events_carry_versions(self):
+        _runtime, tracer = traced_run()
+        versions = [event.version for event in tracer.commits()]
+        assert all(v is not None for v in versions)
+
+    def test_capacity_limits_and_counts_drops(self):
+        _runtime, tracer = traced_run(capacity=5)
+        assert len(tracer.events) == 5
+        assert tracer.dropped > 0
+
+    def test_hottest_threads_ranked(self):
+        _runtime, tracer = traced_run()
+        ranking = tracer.hottest_threads(top=3)
+        counts = [count for _tid, count in ranking]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_summary_mentions_counts(self):
+        runtime, tracer = traced_run()
+        summary = tracer.summary()
+        assert "%d commits" % runtime.stats["commits"] in summary
+
+    def test_to_csv_roundtrip(self, tmp_path):
+        _runtime, tracer = traced_run()
+        path = os.path.join(str(tmp_path), "trace.csv")
+        rows = tracer.to_csv(path)
+        with open(path) as handle:
+            lines = handle.read().strip().splitlines()
+        assert lines[0] == TxTracer.CSV_HEADER
+        assert len(lines) == rows + 1
+
+    def test_event_repr(self):
+        class FakeTc:
+            tid = 3
+
+        class FakeTx:
+            tc = FakeTc()
+
+            def read_entries(self):
+                return [(1, 2)]
+
+            def write_entries(self):
+                return {5: 6}
+
+        tracer = TxTracer()
+        tracer.on_abort(FakeTx(), "validation")
+        event = tracer.events[0]
+        assert isinstance(event, TxEvent)
+        assert "abort:validation" in repr(event)
+        assert event.reads == 1 and event.writes == 1

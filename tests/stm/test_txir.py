@@ -1,0 +1,196 @@
+"""TxIR: the compiler-style transaction layer (paper section 4.1)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.gpu import Device
+from repro.gpu.config import small_config
+from repro.stm import StmConfig, make_runtime
+from repro.stm.txir import (
+    Add,
+    Const,
+    Load,
+    Mov,
+    Mul,
+    SkipIfZero,
+    Store,
+    Sub,
+    TxIrError,
+    Xor,
+    atomic,
+    check_program,
+    reference_interpret,
+)
+
+
+def build(num_threads=2, data_size=16, fill=0):
+    device = Device(small_config(warp_size=4, num_sms=1, max_steps=500_000))
+    data = device.mem.alloc(data_size, "data", fill=fill)
+    runtime = make_runtime(
+        "hv-sorting", device, StmConfig(num_locks=16, shared_data_size=data_size)
+    )
+    return device, runtime, data
+
+
+class TestValidation:
+    def test_empty_program_rejected(self):
+        with pytest.raises(TxIrError, match="empty"):
+            check_program([])
+
+    def test_non_instruction_rejected(self):
+        with pytest.raises(TxIrError, match="not a TxIR instruction"):
+            check_program(["nope"])
+
+    def test_bad_register_names(self):
+        with pytest.raises(TxIrError):
+            check_program([Const("", 1)])
+        with pytest.raises(TxIrError):
+            check_program([Mov(7, "a")])
+
+    def test_const_value_must_be_int(self):
+        with pytest.raises(TxIrError):
+            check_program([Const("a", "x")])
+
+    def test_skip_past_end_rejected(self):
+        with pytest.raises(TxIrError, match="past the end"):
+            check_program([Const("c", 1), SkipIfZero("c", 5)])
+
+    def test_skip_count_positive(self):
+        with pytest.raises(TxIrError):
+            SkipIfZero("c", 0).check()
+
+
+class TestExecution:
+    def test_atomic_transfer(self):
+        device, runtime, data = build(fill=100)
+        program = [
+            Load("s", data, offset=0),
+            Load("d", data, offset=1),
+            Sub("s2", "s", "amt"),
+            Add("d2", "d", "amt"),
+            Store(data, "s2", offset=0),
+            Store(data, "d2", offset=1),
+        ]
+
+        def kernel(tc):
+            yield from atomic(tc, program, registers={"amt": 10})
+
+        device.launch(kernel, 1, 2, attach=runtime.attach)
+        # two atomic transfers of 10: sum conserved, both applied
+        assert device.mem.read(data) == 80
+        assert device.mem.read(data + 1) == 120
+        assert runtime.stats["commits"] == 2
+
+    def test_indexed_addressing(self):
+        device, runtime, data = build()
+
+        def kernel(tc):
+            program = [
+                Const("i", tc.tid),
+                Const("v", 100),
+                Add("v2", "v", "i"),
+                Store(data, "v2", index="i"),
+            ]
+            yield from atomic(tc, program)
+
+        device.launch(kernel, 1, 2, attach=runtime.attach)
+        assert device.mem.snapshot(data, 2) == [100, 101]
+
+    def test_skip_if_zero(self):
+        device, runtime, data = build()
+
+        def kernel(tc):
+            program = [
+                Const("flag", tc.tid),       # 0 for thread 0, 1 for thread 1
+                Const("v", 7),
+                SkipIfZero("flag", 1),        # thread 0 skips the store
+                Store(data, "v", index="flag"),
+            ]
+            yield from atomic(tc, program)
+
+        device.launch(kernel, 1, 2, attach=runtime.attach)
+        assert device.mem.read(data) == 0      # skipped
+        assert device.mem.read(data + 1) == 7  # executed
+
+    def test_returns_final_registers(self):
+        device, runtime, data = build()
+        out = {}
+
+        def kernel(tc):
+            registers = yield from atomic(
+                tc, [Const("a", 2), Const("b", 3), Mul("c", "a", "b")]
+            )
+            out.update(registers)
+
+        device.launch(kernel, 1, 1, attach=runtime.attach)
+        assert out["c"] == 6
+
+    def test_contended_increment_exact(self):
+        device, runtime, data = build(num_threads=8)
+        program = [Load("v", data), Const("one", 1), Add("v2", "v", "one"),
+                   Store(data, "v2")]
+
+        def kernel(tc):
+            for _ in range(3):
+                yield from atomic(tc, program)
+
+        device.launch(kernel, 2, 8, attach=runtime.attach)
+        assert device.mem.read(data) == 2 * 8 * 3
+
+
+class TestReferenceEquivalence:
+    def test_reference_matches_atomic_single_thread(self):
+        device, runtime, data = build(fill=5)
+        program = [
+            Load("a", data, offset=0),
+            Load("b", data, offset=1),
+            Xor("c", "a", "b"),
+            Store(data, "c", offset=2),
+        ]
+
+        def kernel(tc):
+            yield from atomic(tc, program)
+
+        device.launch(kernel, 1, 1, attach=runtime.attach)
+        model_mem = {data: 5, data + 1: 5, data + 2: 5}
+        reference_interpret(program, {}, model_mem)
+        assert device.mem.read(data + 2) == model_mem[data + 2]
+
+
+# randomized differential test: single-threaded TxIR through the STM must
+# behave exactly like the sequential reference interpreter
+reg_names = st.sampled_from(["a", "b", "c", "d"])
+instr_strategy = st.one_of(
+    st.builds(Const, reg_names, st.integers(-50, 50)),
+    st.builds(Mov, reg_names, reg_names),
+    st.builds(Add, reg_names, reg_names, reg_names),
+    st.builds(Sub, reg_names, reg_names, reg_names),
+    st.builds(Xor, reg_names, reg_names, reg_names),
+    st.builds(
+        Load, reg_names, st.just(0), index=st.none(), offset=st.integers(0, 7)
+    ),
+    st.builds(
+        Store, st.just(0), reg_names, index=st.none(), offset=st.integers(0, 7)
+    ),
+)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program=st.lists(instr_strategy, min_size=1, max_size=10))
+def test_differential_vs_reference(program):
+    device, runtime, data = build(data_size=8, fill=3)
+    # rebase loads/stores onto the allocated region
+    for instruction in program:
+        if isinstance(instruction, (Load, Store)):
+            instruction.base = data
+
+    def kernel(tc):
+        yield from atomic(tc, program)
+
+    device.launch(kernel, 1, 1, attach=runtime.attach)
+
+    model_mem = {data + i: 3 for i in range(8)}
+    model_regs = reference_interpret(program, {}, model_mem)
+    for address, expected in model_mem.items():
+        assert device.mem.read(address) == expected
+    del model_regs

@@ -1,0 +1,109 @@
+"""Version-lock encoding and the global lock table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.memory import GlobalMemory
+from repro.stm.versionlock import (
+    GlobalLockTable,
+    is_locked,
+    make_version_lock,
+    version_of,
+)
+
+
+class TestEncoding:
+    def test_unlocked_word(self):
+        word = make_version_lock(5)
+        assert not is_locked(word)
+        assert version_of(word) == 5
+
+    def test_locked_word(self):
+        word = make_version_lock(5, locked=True)
+        assert is_locked(word)
+        assert version_of(word) == 5
+
+    def test_zero_version(self):
+        assert make_version_lock(0) == 0
+        assert version_of(0) == 0
+        assert not is_locked(0)
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(ValueError):
+            make_version_lock(-1)
+
+    def test_lock_bit_is_lsb(self):
+        """Acquiring via Atomic_or(word, 1) and releasing via word-1 works."""
+        word = make_version_lock(9)
+        locked = word | 1
+        assert is_locked(locked)
+        assert version_of(locked) == 9
+        assert locked - 1 == word
+
+
+@given(st.integers(0, 2**40), st.booleans())
+def test_roundtrip(version, locked):
+    word = make_version_lock(version, locked)
+    assert version_of(word) == version
+    assert is_locked(word) == locked
+
+
+class TestLockTable:
+    def test_table_size_must_be_power_of_two(self):
+        mem = GlobalMemory()
+        with pytest.raises(ValueError):
+            GlobalLockTable(mem, 100)
+        with pytest.raises(ValueError):
+            GlobalLockTable(mem, 0)
+
+    def test_stripe_words_must_be_power_of_two(self):
+        mem = GlobalMemory()
+        with pytest.raises(ValueError):
+            GlobalLockTable(mem, 16, stripe_words=3)
+
+    def test_index_of_wraps(self):
+        mem = GlobalMemory()
+        table = GlobalLockTable(mem, 8)
+        assert table.index_of(0) == 0
+        assert table.index_of(7) == 7
+        assert table.index_of(8) == 0
+        assert table.index_of(13) == 5
+
+    def test_stripe_words_group_addresses(self):
+        mem = GlobalMemory()
+        table = GlobalLockTable(mem, 8, stripe_words=4)
+        assert table.index_of(0) == table.index_of(3)
+        assert table.index_of(4) == 1
+
+    def test_lock_addr_layout(self):
+        mem = GlobalMemory()
+        mem.alloc(10, "padding")
+        table = GlobalLockTable(mem, 4)
+        assert table.lock_addr(0) == 10
+        assert table.lock_addr(3) == 13
+        assert table.lock_addr_for(5) == table.lock_addr(table.index_of(5))
+
+    def test_initially_unlocked_version_zero(self):
+        mem = GlobalMemory()
+        table = GlobalLockTable(mem, 16)
+        assert table.locked_count() == 0
+        assert table.max_version() == 0
+
+    def test_peek_reflects_memory(self):
+        mem = GlobalMemory()
+        table = GlobalLockTable(mem, 4)
+        mem.write(table.lock_addr(2), make_version_lock(7, locked=True))
+        assert table.peek(2) == make_version_lock(7, locked=True)
+        assert table.locked_count() == 1
+        assert table.max_version() == 7
+
+
+@given(st.integers(1, 10), st.lists(st.integers(0, 2**32 - 1), max_size=50))
+def test_false_sharing_is_many_to_one(log2_size, addresses):
+    """Property: index_of maps any address into range, deterministically."""
+    mem = GlobalMemory()
+    table = GlobalLockTable(mem, 2**log2_size)
+    for addr in addresses:
+        index = table.index_of(addr)
+        assert 0 <= index < table.num_locks
+        assert index == table.index_of(addr)

@@ -1,0 +1,83 @@
+"""Weak isolation (paper section 3.2.1): conflicts between transactional and
+NON-transactional accesses are not detected — the global version locks only
+protect transactional traffic.  These tests pin that documented semantics.
+"""
+
+from repro.gpu import Device
+from repro.gpu.config import small_config
+from repro.stm import StmConfig, make_runtime, run_transaction
+
+
+class TestWeakIsolation:
+    def test_non_transactional_write_is_invisible_to_validation(self):
+        """A raw gwrite between a transactional read and commit does NOT
+        bump the stripe version, so TBV cannot see it; the transaction
+        commits over it (weak isolation, by design)."""
+        device = Device(small_config(warp_size=2, num_sms=1, max_steps=200_000))
+        data = device.mem.alloc(4, "data", fill=10)
+        runtime = make_runtime(
+            "tbv-sorting", device, StmConfig(num_locks=4, shared_data_size=4)
+        )
+
+        def kernel(tc):
+            if tc.lane_id == 0:
+
+                def body(stm):
+                    value = yield from stm.tx_read(data)
+                    if not stm.is_opaque:
+                        return False
+                    for _ in range(10):
+                        tc.work(1)
+                        yield
+                    yield from stm.tx_write(data + 1, value)
+                    return True
+
+                yield from run_transaction(tc, body, max_restarts=100)
+            else:
+                for _ in range(4):
+                    tc.work(1)
+                    yield
+                # non-transactional interference
+                tc.gwrite(data, 999)
+                yield
+
+        device.launch(kernel, 1, 2, attach=runtime.attach)
+        # the transaction committed the STALE value without any abort
+        assert runtime.stats["commits"] == 1
+        assert runtime.stats["aborts"] == 0
+        assert device.mem.read(data + 1) == 10
+        assert device.mem.read(data) == 999
+
+    def test_hv_value_validation_does_catch_value_changes(self):
+        """HV's VBV compares *values*, so a non-transactional write that
+        lands before post-validation IS observed — weak isolation gives no
+        guarantees either way, but value-based checks are strictly
+        stronger here."""
+        device = Device(small_config(warp_size=2, num_sms=1, max_steps=200_000))
+        data = device.mem.alloc(4, "data", fill=10)
+        runtime = make_runtime(
+            "vbv", device, StmConfig(num_locks=4, shared_data_size=4)
+        )
+        outcomes = []
+
+        def kernel(tc):
+            if tc.lane_id == 0:
+
+                def body(stm):
+                    value = yield from stm.tx_read(data)
+                    if not stm.is_opaque:
+                        outcomes.append("inconsistent")
+                        return False
+                    outcomes.append(value)
+                    yield from stm.tx_write(data + 1, value)
+                    return True
+
+                yield from run_transaction(tc, body, max_restarts=100)
+            else:
+                tc.gwrite(data, 999)
+                yield
+
+        device.launch(kernel, 1, 2, attach=runtime.attach)
+        assert runtime.stats["commits"] == 1
+        # whichever value it read, what committed is self-consistent
+        assert device.mem.read(data + 1) == outcomes[-1]

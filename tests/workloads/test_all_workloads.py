@@ -1,0 +1,49 @@
+"""Every workload x every runtime: invariants and the oracle must hold."""
+
+import pytest
+
+from repro.harness.configs import unit_gpu, test_workload_params as params_for
+from repro.harness.runner import run_workload
+from repro.workloads import WORKLOADS, make_workload
+
+VARIANTS = ("cgl", "egpgv", "vbv", "tbv-sorting", "hv-sorting", "hv-backoff", "optimized")
+
+EGPGV_CAPS = {"egpgv_max_blocks": 16, "egpgv_max_threads_per_block": 32}
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_workload_verifies_and_serializes(workload_name, variant):
+    workload = make_workload(workload_name, **params_for(workload_name))
+    result = run_workload(
+        workload,
+        variant,
+        unit_gpu(),
+        num_locks=64,
+        stm_overrides=dict(EGPGV_CAPS),
+        check_oracle=True,
+    )
+    assert not result.crashed
+    assert result.commits > 0
+    assert 0.0 <= result.abort_rate < 1.0
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_deterministic_across_runs(workload_name):
+    """Same seed, same variant, same geometry => identical cycle counts."""
+
+    def run_once():
+        workload = make_workload(workload_name, **params_for(workload_name))
+        return run_workload(
+            workload,
+            "hv-sorting",
+            unit_gpu(),
+            num_locks=64,
+        )
+
+    first = run_once()
+    second = run_once()
+    assert first.cycles == second.cycles
+    assert first.commits == second.commits
+    assert first.stats == second.stats

@@ -1,0 +1,103 @@
+"""Workload edge cases and failure modes."""
+
+import pytest
+
+from repro.gpu import Device
+from repro.harness.configs import unit_gpu
+from repro.stm import StmConfig, make_runtime
+from repro.workloads.genome import Genome
+from repro.workloads.kmeans import KMeans
+from repro.workloads.labyrinth import Labyrinth
+
+
+def launch(workload, variant="hv-sorting", num_locks=64):
+    device = Device(unit_gpu())
+    workload.setup(device)
+    runtime = make_runtime(
+        variant,
+        device,
+        StmConfig(num_locks=num_locks, shared_data_size=workload.shared_data_size),
+    )
+    for spec in workload.kernels():
+        device.launch(spec.kernel, spec.grid, spec.block, args=spec.args,
+                      attach=runtime.attach)
+    return device, runtime
+
+
+class TestGenomeEdges:
+    def test_table_overflow_raises(self):
+        """More unique segments than slots: the open-addressing insert must
+        fail loudly, not loop forever."""
+        workload = Genome(
+            table_size=4, grid=1, block=8, segments_per_thread=2,
+            segment_space=64, match_grid=1, match_block=2,
+        )
+        with pytest.raises(RuntimeError, match="full"):
+            launch(workload)
+
+    def test_single_thread_genome(self):
+        workload = Genome(
+            table_size=64, grid=1, block=1, segments_per_thread=4,
+            segment_space=16, match_grid=1, match_block=1,
+        )
+        device, runtime = launch(workload)
+        workload.verify(device, runtime)
+
+
+class TestLabyrinthEdges:
+    def test_fully_blocked_maze_rejected_at_setup(self):
+        workload = Labyrinth(
+            width=8, height=8, grid_blocks=2, block_threads=4,
+            paths_per_router=1, obstacle_density=1.0,
+        )
+        device = Device(unit_gpu())
+        with pytest.raises(ValueError, match="no free cells"):
+            workload.setup(device)
+
+    def test_dense_maze_mostly_fails_but_verifies(self):
+        workload = Labyrinth(
+            width=8, height=8, grid_blocks=2, block_threads=4,
+            paths_per_router=2, obstacle_density=0.9,
+        )
+        device, runtime = launch(workload)
+        assert workload.failed >= 1
+        workload.verify(device, runtime)
+
+    def test_obstacle_free_maze_routes_everything(self):
+        workload = Labyrinth(
+            width=10, height=10, grid_blocks=2, block_threads=4,
+            paths_per_router=1, obstacle_density=0.0,
+        )
+        device, runtime = launch(workload)
+        # endpoints may still collide with other routes, but with two
+        # routers on an empty 10x10 grid everything should land
+        assert len(workload.routed) >= 1
+        workload.verify(device, runtime)
+
+    def test_route_distance_cap_respected(self):
+        workload = Labyrinth(
+            width=16, height=16, grid_blocks=2, block_threads=4,
+            paths_per_router=2, obstacle_density=0.0, max_route_distance=3,
+        )
+        device, runtime = launch(workload)
+        for src, dst in workload.endpoints:
+            sx, sy = src % 16, src // 16
+            dx, dy = dst % 16, dst // 16
+            assert abs(dx - sx) <= 3 and abs(dy - sy) <= 3
+        for _path_id, path in workload.routed:
+            assert len(path) <= workload.max_path_length
+
+
+class TestKMeansEdges:
+    def test_single_cluster_collects_everything(self):
+        workload = KMeans(num_points=32, dims=2, k=1, grid=1, block=8)
+        device, runtime = launch(workload, num_locks=16)
+        workload.verify(device, runtime)
+        count = device.mem.read(workload.acc + workload.dims)
+        assert count == 32
+
+    def test_more_threads_than_points(self):
+        workload = KMeans(num_points=8, dims=2, k=2, grid=2, block=8)
+        device, runtime = launch(workload, num_locks=16)
+        workload.verify(device, runtime)
+        assert runtime.stats["commits"] == 8

@@ -1,0 +1,60 @@
+"""EB workload unit tests."""
+
+import pytest
+
+from repro.gpu import Device
+from repro.harness.configs import unit_gpu
+from repro.stm import StmConfig, make_runtime
+from repro.workloads.eigenbench import EigenBench
+
+
+def run_eb(variant="hv-sorting", num_locks=64, **kw):
+    params = dict(hot_size=128, grid=2, block=8, txs_per_thread=2,
+                  reads_per_tx=2, writes_per_tx=2)
+    params.update(kw)
+    workload = EigenBench(**params)
+    device = Device(unit_gpu())
+    workload.setup(device)
+    runtime = make_runtime(
+        variant,
+        device,
+        StmConfig(num_locks=num_locks, shared_data_size=workload.shared_data_size),
+    )
+    for spec in workload.kernels():
+        device.launch(spec.kernel, spec.grid, spec.block, args=spec.args, attach=runtime.attach)
+    return workload, device, runtime
+
+
+class TestEigenBench:
+    def test_hot_sum_invariant(self):
+        workload, device, runtime = run_eb()
+        workload.verify(device, runtime)
+
+    def test_write_count_exact(self):
+        workload, device, runtime = run_eb()
+        total = sum(device.mem.snapshot(workload.hot, workload.hot_size))
+        assert total == runtime.stats["commits"] * workload.writes_per_tx
+
+    def test_read_only_configuration(self):
+        """writes_per_tx=0 makes every transaction read-only (the mild
+        array writes disabled too): hot array never changes."""
+        workload, device, runtime = run_eb(writes_per_tx=0, mild_size=0)
+        assert sum(device.mem.snapshot(workload.hot, workload.hot_size)) == 0
+        workload.verify(device, runtime)
+
+    def test_verify_catches_lost_update(self):
+        workload, device, runtime = run_eb()
+        device.mem.write(workload.hot, device.mem.read(workload.hot) + 1)
+        with pytest.raises(AssertionError, match="hot-sum"):
+            workload.verify(device, runtime)
+
+    def test_mild_array_partitioned_per_thread(self):
+        workload, _device, _runtime = run_eb(mild_size=4)
+        threads = workload.grid * workload.block
+        region = None
+        # allocation sized per thread
+        assert workload.mild is not None
+        assert threads * 4 > 0
+
+    def test_shared_size_is_hot_size(self):
+        assert EigenBench(hot_size=4096).shared_data_size == 4096

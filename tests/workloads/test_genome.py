@@ -1,0 +1,96 @@
+"""GN workload unit tests."""
+
+import pytest
+
+from repro.gpu import Device
+from repro.harness.configs import unit_gpu
+from repro.stm import StmConfig, make_runtime
+from repro.workloads.genome import Genome
+
+
+def run_gn(variant="hv-sorting", kernels="both", **kw):
+    params = dict(table_size=64, grid=2, block=8, segments_per_thread=2,
+                  match_grid=2, match_block=4, segment_space=48)
+    params.update(kw)
+    workload = Genome(**params)
+    device = Device(unit_gpu())
+    workload.setup(device)
+    runtime = make_runtime(
+        variant,
+        device,
+        StmConfig(num_locks=64, shared_data_size=workload.shared_data_size),
+    )
+    specs = workload.kernels()
+    if kernels == "first":
+        specs = specs[:1]
+    for spec in specs:
+        device.launch(spec.kernel, spec.grid, spec.block, args=spec.args, attach=runtime.attach)
+    return workload, device, runtime
+
+
+class TestGenomeDedup:
+    def test_two_kernels_declared(self):
+        workload = Genome(table_size=64)
+        workload.segments = []
+        specs = workload.kernels()
+        assert [spec.name for spec in specs] == ["gn-1", "gn-2"]
+
+    def test_dedup_set_exact(self):
+        workload, device, runtime = run_gn()
+        workload.verify(device, runtime)
+
+    def test_duplicates_inserted_once(self):
+        workload, device, _ = run_gn(kernels="first")
+        stored = [
+            device.mem.read(workload.table + slot)
+            for slot in range(workload.table_size)
+        ]
+        stored = [value for value in stored if value]
+        assert len(stored) == len(set(stored))
+        assert set(stored) == set(workload.segments)
+
+    def test_pool_has_duplicates(self):
+        """The segment pool must actually exercise deduplication."""
+        workload, _, _ = run_gn(kernels="first")
+        assert len(set(workload.segments)) < len(workload.segments)
+
+    def test_non_power_of_two_table_rejected(self):
+        with pytest.raises(ValueError):
+            Genome(table_size=100)
+
+
+class TestGenomeMatch:
+    def test_links_and_claims_consistent(self):
+        workload, device, runtime = run_gn()
+        workload.verify(device, runtime)
+
+    def test_some_links_formed(self):
+        """With a dense segment space, successors exist and get claimed."""
+        workload, device, _ = run_gn(segment_space=24)
+        links = sum(
+            1
+            for slot in range(workload.table_size)
+            if device.mem.read(workload.links + slot)
+        )
+        assert links > 0
+
+    def test_claims_unique(self):
+        workload, device, _ = run_gn(segment_space=24)
+        claimed_by = {}
+        for slot in range(workload.table_size):
+            claim = device.mem.read(workload.claimed + slot)
+            if claim:
+                assert slot not in claimed_by
+                claimed_by[slot] = claim
+
+    def test_verify_catches_bogus_link(self):
+        workload, device, runtime = run_gn()
+        # fabricate a link without a claim
+        for slot in range(workload.table_size):
+            if device.mem.read(workload.table + slot) and not device.mem.read(
+                workload.links + slot
+            ):
+                device.mem.write(workload.links + slot, slot + 1)
+                break
+        with pytest.raises(AssertionError):
+            workload.verify(device, runtime)

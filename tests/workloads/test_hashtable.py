@@ -1,0 +1,66 @@
+"""HT workload unit tests."""
+
+import pytest
+
+from repro.gpu import Device
+from repro.harness.configs import unit_gpu
+from repro.stm import StmConfig, make_runtime
+from repro.workloads.hashtable import HashTable
+
+
+def run_ht(variant="hv-sorting", **kw):
+    params = dict(num_buckets=16, grid=2, block=8, txs_per_thread=2, inserts_per_tx=2)
+    params.update(kw)
+    workload = HashTable(**params)
+    device = Device(unit_gpu())
+    workload.setup(device)
+    runtime = make_runtime(
+        variant,
+        device,
+        StmConfig(num_locks=16, shared_data_size=workload.shared_data_size),
+    )
+    for spec in workload.kernels():
+        device.launch(spec.kernel, spec.grid, spec.block, args=spec.args, attach=runtime.attach)
+    return workload, device, runtime
+
+
+class TestHashTable:
+    def test_all_inserts_present(self):
+        workload, device, runtime = run_ht()
+        workload.verify(device, runtime)
+
+    def test_total_inserts_counted(self):
+        workload, _, _ = run_ht()
+        assert workload.total_inserts == 2 * 8 * 2 * 2
+
+    def test_expected_keys_deterministic(self):
+        workload, _, _ = run_ht()
+        assert workload.expected_keys() == workload.expected_keys()
+
+    def test_verify_catches_lost_insert(self):
+        workload, device, runtime = run_ht()
+        # break one chain: empty a non-empty bucket
+        for bucket in range(workload.num_buckets):
+            if device.mem.read(workload.buckets + bucket):
+                device.mem.write(workload.buckets + bucket, 0)
+                break
+        with pytest.raises(AssertionError, match="lost or duplicated"):
+            workload.verify(device, runtime)
+
+    def test_verify_catches_cycle(self):
+        workload, device, runtime = run_ht()
+        # find a bucket with a node and make the node point to itself
+        for bucket in range(workload.num_buckets):
+            head = device.mem.read(workload.buckets + bucket)
+            if head:
+                node = head - 1
+                device.mem.write(workload.nodes + 2 * node + 1, node + 1)
+                break
+        with pytest.raises(AssertionError, match="cycle|longer"):
+            workload.verify(device, runtime)
+
+    def test_contended_single_bucket(self):
+        """All keys collide into very few buckets: heavy head contention
+        still loses no insert."""
+        workload, device, runtime = run_ht(num_buckets=2, grid=1, block=8)
+        workload.verify(device, runtime)

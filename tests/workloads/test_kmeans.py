@@ -1,0 +1,60 @@
+"""KM workload unit tests."""
+
+import pytest
+
+from repro.gpu import Device
+from repro.harness.configs import unit_gpu
+from repro.stm import StmConfig, make_runtime
+from repro.workloads.kmeans import KMeans
+
+
+def run_km(variant="hv-sorting", **kw):
+    params = dict(num_points=48, dims=2, k=4, grid=2, block=8)
+    params.update(kw)
+    workload = KMeans(**params)
+    device = Device(unit_gpu())
+    workload.setup(device)
+    runtime = make_runtime(
+        variant,
+        device,
+        StmConfig(num_locks=16, shared_data_size=workload.shared_data_size),
+    )
+    for spec in workload.kernels():
+        device.launch(spec.kernel, spec.grid, spec.block, args=spec.args, attach=runtime.attach)
+    return workload, device, runtime
+
+
+class TestKMeans:
+    def test_accumulators_exact(self):
+        workload, device, runtime = run_km()
+        workload.verify(device, runtime)
+
+    def test_counts_sum_to_points(self):
+        workload, device, _ = run_km()
+        counts = [
+            device.mem.read(workload.acc + c * (workload.dims + 1) + workload.dims)
+            for c in range(workload.k)
+        ]
+        assert sum(counts) == workload.num_points
+
+    def test_shared_data_is_tiny(self):
+        """KM's defining property: shared data is k*(dims+1) words."""
+        workload = KMeans(num_points=100, dims=4, k=8)
+        assert workload.shared_data_size == 8 * 5
+
+    def test_high_conflict_rate(self):
+        """Everything funnels into k accumulators: conflicts abound under an
+        optimistic runtime (the paper's KM finding)."""
+        _workload, _device, runtime = run_km(k=2)
+        assert runtime.abort_rate() > 0.3
+
+    def test_verify_catches_corruption(self):
+        workload, device, runtime = run_km()
+        device.mem.write(workload.acc, device.mem.read(workload.acc) + 1)
+        with pytest.raises(AssertionError, match="sum"):
+            workload.verify(device, runtime)
+
+    def test_nearest_center_deterministic_tiebreak(self):
+        workload = KMeans(num_points=4, dims=1, k=2, value_range=1)
+        workload._host_centers = [[0], [0]]
+        assert workload.nearest_center([0]) == 0

@@ -1,0 +1,88 @@
+"""LB workload unit tests."""
+
+import pytest
+
+from repro.gpu import Device
+from repro.harness.configs import unit_gpu
+from repro.stm import StmConfig, make_runtime
+from repro.workloads.labyrinth import _FIRST_PATH_ID, Labyrinth
+
+
+def run_lb(variant="hv-sorting", **kw):
+    params = dict(width=12, height=12, grid_blocks=4, block_threads=8, paths_per_router=1)
+    params.update(kw)
+    workload = Labyrinth(**params)
+    device = Device(unit_gpu())
+    workload.setup(device)
+    runtime = make_runtime(
+        variant,
+        device,
+        StmConfig(num_locks=64, shared_data_size=workload.shared_data_size),
+    )
+    for spec in workload.kernels():
+        device.launch(spec.kernel, spec.grid, spec.block, args=spec.args, attach=runtime.attach)
+    return workload, device, runtime
+
+
+class TestLabyrinth:
+    def test_paths_disjoint_and_connected(self):
+        workload, device, runtime = run_lb()
+        workload.verify(device, runtime)
+
+    def test_route_accounting(self):
+        workload, _device, _runtime = run_lb()
+        assert len(workload.routed) + workload.failed == len(workload.endpoints)
+
+    def test_paths_claim_grid_cells(self):
+        workload, device, _ = run_lb()
+        if workload.routed:
+            path_id, path = workload.routed[0]
+            for cell in path:
+                assert device.mem.read(workload.grid + cell) == path_id
+
+    def test_obstacles_never_claimed(self):
+        """Obstacle cells placed at setup keep their marker through routing."""
+        workload = Labyrinth(
+            width=12, height=12, grid_blocks=4, block_threads=8,
+            paths_per_router=1, obstacle_density=0.3,
+        )
+        device = Device(unit_gpu())
+        workload.setup(device)
+        obstacles = {
+            index
+            for index in range(workload.cells)
+            if device.mem.read(workload.grid + index) == 1
+        }
+        runtime = make_runtime(
+            "hv-sorting",
+            device,
+            StmConfig(num_locks=64, shared_data_size=workload.shared_data_size),
+        )
+        for spec in workload.kernels():
+            device.launch(
+                spec.kernel, spec.grid, spec.block, args=spec.args, attach=runtime.attach
+            )
+        for index in obstacles:
+            assert device.mem.read(workload.grid + index) == 1
+
+    def test_verify_catches_overlap(self):
+        workload, device, runtime = run_lb()
+        if len(workload.routed) >= 1:
+            path_id, path = workload.routed[0]
+            # claim an extra unrelated free cell with the same id
+            for index in range(workload.cells):
+                if device.mem.read(workload.grid + index) == 0:
+                    device.mem.write(workload.grid + index, path_id)
+                    break
+            with pytest.raises(AssertionError):
+                workload.verify(device, runtime)
+
+    def test_dense_maze_routes_fail_gracefully(self):
+        workload, device, runtime = run_lb(obstacle_density=0.6)
+        workload.verify(device, runtime)  # failures are legal, invariants hold
+
+    def test_single_router_per_block(self):
+        """Only lane 0 of each block executes transactions."""
+        workload, _device, runtime = run_lb()
+        assert runtime.stats["commits"] == len(workload.routed)
+        assert len(workload.routed) <= workload.grid_blocks * workload.paths_per_router

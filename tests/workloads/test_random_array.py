@@ -1,0 +1,52 @@
+"""RA workload unit tests."""
+
+import pytest
+
+from repro.gpu import Device
+from repro.harness.configs import unit_gpu
+from repro.stm import StmConfig, make_runtime
+from repro.workloads.random_array import RandomArray
+
+
+def run_ra(**kw):
+    params = dict(array_size=128, grid=2, block=8, txs_per_thread=2, actions_per_tx=2)
+    params.update(kw)
+    workload = RandomArray(**params)
+    device = Device(unit_gpu())
+    workload.setup(device)
+    runtime = make_runtime(
+        "hv-sorting",
+        device,
+        StmConfig(num_locks=32, shared_data_size=workload.shared_data_size),
+    )
+    for spec in workload.kernels():
+        device.launch(spec.kernel, spec.grid, spec.block, args=spec.args, attach=runtime.attach)
+    return workload, device, runtime
+
+
+class TestRandomArray:
+    def test_sum_conserved(self):
+        workload, device, runtime = run_ra()
+        workload.verify(device, runtime)
+
+    def test_values_actually_move(self):
+        workload, device, _ = run_ra()
+        values = device.mem.snapshot(workload.array, workload.array_size)
+        assert any(value != workload.fill for value in values)
+
+    def test_expected_commits(self):
+        workload, _, runtime = run_ra()
+        assert runtime.stats["commits"] == workload.expected_commits() == 2 * 8 * 2 * 1
+
+    def test_verify_catches_corruption(self):
+        workload, device, runtime = run_ra()
+        device.mem.write(workload.array, device.mem.read(workload.array) + 1)
+        with pytest.raises(AssertionError, match="sum invariant"):
+            workload.verify(device, runtime)
+
+    def test_tiny_array_rejected(self):
+        with pytest.raises(ValueError):
+            RandomArray(array_size=1)
+
+    def test_shared_size_is_array_size(self):
+        assert RandomArray(array_size=512).shared_data_size == 512
