@@ -15,7 +15,11 @@ from benchmarks.conftest import save_artifact
 def test_ablations(benchmark, results_dir):
     result = benchmark.pedantic(experiments.ablations, rounds=1, iterations=1)
     rendered = result.render()
-    save_artifact(results_dir, "ablations", rendered)
+    save_artifact(results_dir, "ablations", rendered,
+                  data=dict(sorting=result.sorting, locklog=result.locklog,
+                            coalescing=result.coalescing,
+                            lock_attempts=result.lock_attempts,
+                            scheduler=result.scheduler))
     print("\n" + rendered)
 
     benchmark.extra_info["locklog_ratio"] = round(result.locklog["ratio"], 2)

@@ -13,7 +13,8 @@ from benchmarks.conftest import save_artifact
 def test_fig2_overall_speedup(benchmark, results_dir):
     result = benchmark.pedantic(experiments.fig2, rounds=1, iterations=1)
     rendered = result.render()
-    save_artifact(results_dir, "fig2", rendered)
+    save_artifact(results_dir, "fig2", rendered,
+                  data=dict(speedups=result.speedups, cycles=result.cycles))
     print("\n" + rendered)
 
     speedups = result.speedups

@@ -14,7 +14,10 @@ def test_fig3_thread_scaling(benchmark, results_dir):
         experiments.fig3, kwargs=dict(workload_name="ra"), rounds=1, iterations=1
     )
     rendered = result.render()
-    save_artifact(results_dir, "fig3", rendered)
+    save_artifact(results_dir, "fig3", rendered,
+                  data=dict(workload=result.workload,
+                            thread_counts=result.thread_counts,
+                            cycles=result.cycles))
     print("\n" + rendered)
 
     for variant in experiments.FIG3_VARIANTS:

@@ -14,7 +14,11 @@ from benchmarks.conftest import save_artifact
 def test_fig4_hv_vs_tbv(benchmark, results_dir):
     result = benchmark.pedantic(experiments.fig4, rounds=1, iterations=1)
     rendered = result.render()
-    save_artifact(results_dir, "fig4", rendered)
+    save_artifact(results_dir, "fig4", rendered,
+                  data=dict(shared_sizes=result.shared_sizes,
+                            lock_sizes=result.lock_sizes,
+                            thread_counts=result.thread_counts,
+                            points=result.points))
     print("\n" + rendered)
 
     points = result.points

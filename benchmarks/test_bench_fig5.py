@@ -14,7 +14,7 @@ from benchmarks.conftest import save_artifact
 def test_fig5_breakdown(benchmark, results_dir):
     result = benchmark.pedantic(experiments.fig5, rounds=1, iterations=1)
     rendered = result.render()
-    save_artifact(results_dir, "fig5", rendered)
+    save_artifact(results_dir, "fig5", rendered, data=dict(rows=result.rows))
     print("\n" + rendered)
 
     rows = dict(result.rows)

@@ -14,7 +14,7 @@ from benchmarks.conftest import save_artifact
 def test_table1_characteristics(benchmark, results_dir):
     result = benchmark.pedantic(experiments.table1, rounds=1, iterations=1)
     rendered = result.render()
-    save_artifact(results_dir, "table1", rendered)
+    save_artifact(results_dir, "table1", rendered, data=dict(rows=result.rows))
     print("\n" + rendered)
 
     rows = {row["kernel"]: row for row in result.rows}

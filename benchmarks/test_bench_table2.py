@@ -12,7 +12,7 @@ from benchmarks.conftest import save_artifact
 def test_table2_launch_configs(benchmark, results_dir):
     result = benchmark.pedantic(experiments.table2, rounds=1, iterations=1)
     rendered = result.render()
-    save_artifact(results_dir, "table2", rendered)
+    save_artifact(results_dir, "table2", rendered, data=dict(rows=result.rows))
     print("\n" + rendered)
 
     best = {workload: (grid, block) for workload, grid, block, _ in result.rows}

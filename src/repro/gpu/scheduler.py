@@ -98,43 +98,61 @@ class Device:
         total_steps = 0
         total_mem_txns = 0
         max_steps = config.max_steps
+        steps_per_turn = config.warp_steps_per_turn
         active_sms = [sm for sm in sms if sm.busy()]
         while active_sms:
             still_active = []
+            add_active = still_active.append
             for sm in active_sms:
-                sm.refill(config)
+                if sm.pending:
+                    sm.refill(config)
                 warps = sm.resident_warps
                 if not warps:
-                    if sm.busy():
-                        still_active.append(sm)
+                    if sm.pending:
+                        add_active(sm)
                     continue
-                if sm.next_warp >= len(warps):
-                    sm.next_warp = 0
-                warp = warps[sm.next_warp]
+                next_warp = sm.next_warp
+                if next_warp >= len(warps):
+                    next_warp = 0
+                warp = warps[next_warp]
+                block = warp.block
                 # issue the selected warp for the configured number of
                 # consecutive steps (1 = round robin; larger approximates a
                 # greedy-then-oldest scheduler)
-                for _turn in range(config.warp_steps_per_turn):
-                    cost, finished = warp.step()
+                if steps_per_turn == 1:
+                    cost, finished, mem_txns = warp.step()
                     sm.cycles += cost
-                    total_mem_txns += warp.step_mem_txns
+                    total_mem_txns += mem_txns
                     total_steps += 1
                     if finished:
-                        block = warp.block
                         for _ in range(finished):
                             block.lane_finished()
-                    else:
-                        warp.block.maybe_release_barrier()
-                    if warp.live == 0:
-                        break
+                    elif block.barrier_waiting:
+                        block.maybe_release_barrier()
+                else:
+                    for _turn in range(steps_per_turn):
+                        cost, finished, mem_txns = warp.step()
+                        sm.cycles += cost
+                        total_mem_txns += mem_txns
+                        total_steps += 1
+                        if finished:
+                            for _ in range(finished):
+                                block.lane_finished()
+                        elif block.barrier_waiting:
+                            block.maybe_release_barrier()
+                        if warp.live == 0:
+                            break
                 if warp.live == 0:
-                    warps.pop(sm.next_warp)
-                    if all(w.live == 0 for w in warp.block.warps):
+                    # retire the warp; the block is done once its live-lane
+                    # count (maintained by lane_finished) reaches zero
+                    warps.pop(next_warp)
+                    sm.next_warp = next_warp
+                    if block.live_lanes == 0:
                         sm.resident_blocks -= 1
                 else:
-                    sm.next_warp += 1
-                if sm.busy():
-                    still_active.append(sm)
+                    sm.next_warp = next_warp + 1
+                if warps or sm.pending:
+                    add_active(sm)
             if total_steps > max_steps:
                 raise ProgressError(
                     "watchdog: %d warp steps without kernel completion "

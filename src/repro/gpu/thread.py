@@ -37,12 +37,19 @@ class ThreadCtx:
         "phase_cycles",
         "counters",
         "stm",
-        "ops_in_resume",
         "cycles_total",
         "cycles_in_tx",
         "_tx_window",
         "_costs",
         "_check_bounds",
+        "_phase_map",
+        "_words",
+        "_mem_latency",
+        "_l2_read_latency",
+        "_atomic_latency",
+        "_smem_latency",
+        "_fence_latency",
+        "_local_meta_cost",
     )
 
     def __init__(self, tid, lane_id, warp, block, mem, config):
@@ -55,24 +62,43 @@ class ThreadCtx:
         self.phase_cycles = PhaseCycles()
         self.counters = Counters()
         self.stm = None  # attached by the TM runtime, if any
-        self.ops_in_resume = 0
         self.cycles_total = 0
         self.cycles_in_tx = 0
         self._tx_window = None
-        self._costs = config.costs
+        costs = config.costs
+        self._costs = costs
         self._check_bounds = config.check_bounds
+        # hot-path aliases: the phase dict, bound memory accessors and
+        # per-op latency constants
+        self._phase_map = self.phase_cycles.cycles
+        # the flat word array itself: GlobalMemory only ever mutates it in
+        # place (alloc extends), so reads/writes can index it directly
+        self._words = mem.words
+        self._mem_latency = costs.mem_latency
+        self._l2_read_latency = costs.l2_read_latency
+        self._atomic_latency = costs.atomic_latency
+        self._smem_latency = costs.smem_latency
+        self._fence_latency = costs.fence_latency
+        self._local_meta_cost = costs.local_meta_cost
 
     # ------------------------------------------------------------------
     # Cost accounting
     # ------------------------------------------------------------------
     def charge(self, phase, cycles):
         """Attribute ``cycles`` of lane-latency to ``phase``."""
-        self.phase_cycles.add(phase, cycles)
+        phase_map = self._phase_map
+        if phase in phase_map:
+            phase_map[phase] += cycles
+        else:
+            phase_map[phase] = cycles
         self.cycles_total += cycles
         window = self._tx_window
         if window is not None:
             self.cycles_in_tx += cycles
-            window[phase] = window.get(phase, 0) + cycles
+            if phase in window:
+                window[phase] += cycles
+            else:
+                window[phase] = cycles
 
     def tx_window_begin(self):
         """Start attributing costs to the current transaction attempt."""
@@ -95,8 +121,59 @@ class ThreadCtx:
         self.phase_cycles.add(Phase.ABORTED, total)
 
     def _record(self, kind, addr, phase):
-        self.ops_in_resume += 1
-        self.warp.step_ops.append((self.lane_id, kind, addr, phase))
+        warp = self.warp
+        warp.step_nops += 1
+        if kind is warp.step_kind and phase is warp.step_phase:
+            # same issue group as the previous record (the dominant case):
+            # append to the cached bucket, no dict lookup, no tuple
+            warp.step_cur.append(addr)
+            return
+        groups = warp.step_groups
+        tag = (kind, phase)
+        bucket = groups.get(tag)
+        if bucket is None:
+            groups[tag] = bucket = [addr]
+        else:
+            bucket.append(addr)
+        warp.step_kind = kind
+        warp.step_phase = phase
+        warp.step_cur = bucket
+
+    def _account(self, kind, addr, phase, cycles):
+        """Record one operation and charge its latency in a single call.
+
+        This is :meth:`_record` + :meth:`charge` fused — every
+        globally-visible operation funnels through here, so one call frame
+        instead of two is a measurable win.
+        """
+        warp = self.warp
+        warp.step_nops += 1
+        if kind is warp.step_kind and phase is warp.step_phase:
+            warp.step_cur.append(addr)
+        else:
+            groups = warp.step_groups
+            tag = (kind, phase)
+            bucket = groups.get(tag)
+            if bucket is None:
+                groups[tag] = bucket = [addr]
+            else:
+                bucket.append(addr)
+            warp.step_kind = kind
+            warp.step_phase = phase
+            warp.step_cur = bucket
+        phase_map = self._phase_map
+        if phase in phase_map:
+            phase_map[phase] += cycles
+        else:
+            phase_map[phase] = cycles
+        self.cycles_total += cycles
+        window = self._tx_window
+        if window is not None:
+            self.cycles_in_tx += cycles
+            if phase in window:
+                window[phase] += cycles
+            else:
+                window[phase] = cycles
 
     # ------------------------------------------------------------------
     # Globally-visible operations (each must be followed by a yield)
@@ -105,9 +182,36 @@ class ThreadCtx:
         """Global memory read."""
         if self._check_bounds:
             self.mem.check(addr)
-        self._record(OpKind.READ, addr, phase)
-        self.charge(phase, self._costs.mem_latency)
-        return self.mem.read(addr)
+        warp = self.warp
+        warp.step_nops += 1
+        if OpKind.READ is warp.step_kind and phase is warp.step_phase:
+            warp.step_cur.append(addr)
+        else:
+            groups = warp.step_groups
+            tag = (OpKind.READ, phase)
+            bucket = groups.get(tag)
+            if bucket is None:
+                groups[tag] = bucket = [addr]
+            else:
+                bucket.append(addr)
+            warp.step_kind = OpKind.READ
+            warp.step_phase = phase
+            warp.step_cur = bucket
+        cycles = self._mem_latency
+        phase_map = self._phase_map
+        if phase in phase_map:
+            phase_map[phase] += cycles
+        else:
+            phase_map[phase] = cycles
+        self.cycles_total += cycles
+        window = self._tx_window
+        if window is not None:
+            self.cycles_in_tx += cycles
+            if phase in window:
+                window[phase] += cycles
+            else:
+                window[phase] = cycles
+        return self._words[addr]
 
     def gread_l2(self, addr, phase=Phase.NATIVE):
         """Global memory read served from the L2 cache.
@@ -119,40 +223,91 @@ class ThreadCtx:
         """
         if self._check_bounds:
             self.mem.check(addr)
-        self._record(OpKind.L2_READ, addr, phase)
-        self.charge(phase, self._costs.l2_read_latency)
-        return self.mem.read(addr)
+        warp = self.warp
+        warp.step_nops += 1
+        if OpKind.L2_READ is warp.step_kind and phase is warp.step_phase:
+            warp.step_cur.append(addr)
+        else:
+            groups = warp.step_groups
+            tag = (OpKind.L2_READ, phase)
+            bucket = groups.get(tag)
+            if bucket is None:
+                groups[tag] = bucket = [addr]
+            else:
+                bucket.append(addr)
+            warp.step_kind = OpKind.L2_READ
+            warp.step_phase = phase
+            warp.step_cur = bucket
+        cycles = self._l2_read_latency
+        phase_map = self._phase_map
+        if phase in phase_map:
+            phase_map[phase] += cycles
+        else:
+            phase_map[phase] = cycles
+        self.cycles_total += cycles
+        window = self._tx_window
+        if window is not None:
+            self.cycles_in_tx += cycles
+            if phase in window:
+                window[phase] += cycles
+            else:
+                window[phase] = cycles
+        return self._words[addr]
 
     def gwrite(self, addr, value, phase=Phase.NATIVE):
         """Global memory write."""
         if self._check_bounds:
             self.mem.check(addr)
-        self._record(OpKind.WRITE, addr, phase)
-        self.charge(phase, self._costs.mem_latency)
-        self.mem.write(addr, value)
+        warp = self.warp
+        warp.step_nops += 1
+        if OpKind.WRITE is warp.step_kind and phase is warp.step_phase:
+            warp.step_cur.append(addr)
+        else:
+            groups = warp.step_groups
+            tag = (OpKind.WRITE, phase)
+            bucket = groups.get(tag)
+            if bucket is None:
+                groups[tag] = bucket = [addr]
+            else:
+                bucket.append(addr)
+            warp.step_kind = OpKind.WRITE
+            warp.step_phase = phase
+            warp.step_cur = bucket
+        cycles = self._mem_latency
+        phase_map = self._phase_map
+        if phase in phase_map:
+            phase_map[phase] += cycles
+        else:
+            phase_map[phase] = cycles
+        self.cycles_total += cycles
+        window = self._tx_window
+        if window is not None:
+            self.cycles_in_tx += cycles
+            if phase in window:
+                window[phase] += cycles
+            else:
+                window[phase] = cycles
+        self._words[addr] = value
 
     def atomic_cas(self, addr, expected, new, phase=Phase.NATIVE):
         """Atomic compare-and-swap; returns the old value."""
         if self._check_bounds:
             self.mem.check(addr)
-        self._record(OpKind.ATOMIC, addr, phase)
-        self.charge(phase, self._costs.atomic_latency)
+        self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
         return self.mem.atomic_cas(addr, expected, new)
 
     def atomic_or(self, addr, value, phase=Phase.NATIVE):
         """Atomic bitwise-or; returns the old value (Algorithm 3 line 39)."""
         if self._check_bounds:
             self.mem.check(addr)
-        self._record(OpKind.ATOMIC, addr, phase)
-        self.charge(phase, self._costs.atomic_latency)
+        self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
         return self.mem.atomic_or(addr, value)
 
     def atomic_add(self, addr, value, phase=Phase.NATIVE):
         """Atomic add; returns the old value."""
         if self._check_bounds:
             self.mem.check(addr)
-        self._record(OpKind.ATOMIC, addr, phase)
-        self.charge(phase, self._costs.atomic_latency)
+        self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
         return self.mem.atomic_add(addr, value)
 
     def atomic_inc(self, addr, phase=Phase.NATIVE):
@@ -163,16 +318,14 @@ class ThreadCtx:
         """Atomic subtract; returns the old value."""
         if self._check_bounds:
             self.mem.check(addr)
-        self._record(OpKind.ATOMIC, addr, phase)
-        self.charge(phase, self._costs.atomic_latency)
+        self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
         return self.mem.atomic_sub(addr, value)
 
     def atomic_exch(self, addr, value, phase=Phase.NATIVE):
         """Atomic exchange; returns the old value."""
         if self._check_bounds:
             self.mem.check(addr)
-        self._record(OpKind.ATOMIC, addr, phase)
-        self.charge(phase, self._costs.atomic_latency)
+        self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
         return self.mem.atomic_exch(addr, value)
 
     def smem_read(self, offset, phase=Phase.NATIVE):
@@ -188,8 +341,7 @@ class ThreadCtx:
                 "shared-memory offset %d out of bounds (block has %d words; "
                 "pass smem_words= to launch)" % (offset, len(smem))
             )
-        self._record(OpKind.SMEM, offset, phase)
-        self.charge(phase, self._costs.smem_latency)
+        self._account(OpKind.SMEM, offset, phase, self._smem_latency)
         return smem[offset]
 
     def smem_write(self, offset, value, phase=Phase.NATIVE):
@@ -200,16 +352,14 @@ class ThreadCtx:
                 "shared-memory offset %d out of bounds (block has %d words; "
                 "pass smem_words= to launch)" % (offset, len(smem))
             )
-        self._record(OpKind.SMEM, offset, phase)
-        self.charge(phase, self._costs.smem_latency)
+        self._account(OpKind.SMEM, offset, phase, self._smem_latency)
         smem[offset] = value
 
     def fence(self, phase=Phase.NATIVE):
         """CUDA ``threadfence``: ordering is implicit in the simulator's
         sequentially-consistent interleaving, but the cost is still charged so
         the overhead breakdown accounts for it."""
-        self._record(OpKind.FENCE, -1, phase)
-        self.charge(phase, self._costs.fence_latency)
+        self._account(OpKind.FENCE, -1, phase, self._fence_latency)
 
     def extra_cost(self, cycles, phase=Phase.BUFFERING):
         """Charge ``cycles`` that *sum* across lanes in the warp-step cost.
@@ -237,7 +387,21 @@ class ThreadCtx:
         """Charge ``count`` local-metadata operations (read-/write-set
         bookkeeping).  Local metadata is cached (paper section 4.1), so this
         does not create a memory transaction record, only cheap cycles."""
-        self.charge(phase, self._costs.local_meta_cost * count)
+        # inlined charge(): local_op is on the STM bookkeeping hot path
+        cycles = self._local_meta_cost * count
+        phase_map = self._phase_map
+        if phase in phase_map:
+            phase_map[phase] += cycles
+        else:
+            phase_map[phase] = cycles
+        self.cycles_total += cycles
+        window = self._tx_window
+        if window is not None:
+            self.cycles_in_tx += cycles
+            if phase in window:
+                window[phase] += cycles
+            else:
+                window[phase] = cycles
 
     def work(self, cycles, phase=Phase.NATIVE):
         """Model ``cycles`` of native (non-memory) computation.
@@ -246,9 +410,23 @@ class ThreadCtx:
         maximum across lanes, while each lane's own breakdown is charged the
         full amount.
         """
-        self.charge(phase, cycles)
-        if cycles > self.warp.step_work:
-            self.warp.step_work = cycles
+        # inlined charge(): work() is on the compute-kernel hot path
+        phase_map = self._phase_map
+        if phase in phase_map:
+            phase_map[phase] += cycles
+        else:
+            phase_map[phase] = cycles
+        self.cycles_total += cycles
+        window = self._tx_window
+        if window is not None:
+            self.cycles_in_tx += cycles
+            if phase in window:
+                window[phase] += cycles
+            else:
+                window[phase] = cycles
+        warp = self.warp
+        if cycles > warp.step_work:
+            warp.step_work = cycles
 
     # ------------------------------------------------------------------
     # Warp/block coordination

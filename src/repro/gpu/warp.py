@@ -25,6 +25,14 @@ from repro.gpu.errors import GpuError
 from repro.gpu.events import OpKind
 from repro.gpu.thread import ThreadCtx
 
+# cost-fold loop constants (module-level loads are cheaper than attributes)
+_READ = OpKind.READ
+_WRITE = OpKind.WRITE
+_ATOMIC = OpKind.ATOMIC
+_FENCE = OpKind.FENCE
+_L2_READ = OpKind.L2_READ
+_SMEM = OpKind.SMEM
+
 
 class Lane:
     """One SIMT lane: a kernel generator plus its thread context."""
@@ -38,15 +46,30 @@ class Lane:
 
 
 class Warp:
-    """A lockstep group of lanes."""
+    """A lockstep group of lanes.
+
+    Per-step operation records are grouped *incrementally*: ``step_groups``
+    maps each ``(kind, phase)`` issue group to its address list, and
+    ``step_kind``/``step_phase``/``step_cur`` cache the most recent group so
+    that runs of identically-tagged records — the dominant pattern, since
+    lanes record in lane order and lockstep lanes mostly issue the same
+    instruction — append with two identity compares and no dict lookup or
+    tuple allocation.  The cost fold then iterates the already-built groups
+    instead of re-grouping a record list.
+    """
 
     __slots__ = (
         "warp_id",
         "block",
         "config",
         "lanes",
+        "active",
         "live",
-        "step_ops",
+        "step_nops",
+        "step_kind",
+        "step_phase",
+        "step_cur",
+        "step_groups",
         "step_work",
         "step_extra",
         "step_mem_txns",
@@ -54,6 +77,17 @@ class Warp:
         "reconv_gen",
         "shared",
         "steps",
+        # cost-model constants hoisted at construction time
+        "_strict",
+        "_line_words",
+        "_smem_banks",
+        "_issue_cost",
+        "_mem_txn_cost",
+        "_mem_pipeline_cost",
+        "_atomic_cost",
+        "_l2_read_cost",
+        "_smem_cost",
+        "_fence_cost",
     )
 
     def __init__(self, warp_id, block, config):
@@ -61,8 +95,13 @@ class Warp:
         self.block = block
         self.config = config
         self.lanes = []
+        self.active = []
         self.live = 0
-        self.step_ops = []
+        self.step_nops = 0
+        self.step_kind = None
+        self.step_phase = None
+        self.step_cur = None
+        self.step_groups = {}
         self.step_work = 0
         self.step_extra = 0
         self.step_mem_txns = 0
@@ -70,10 +109,26 @@ class Warp:
         self.reconv_gen = 0
         self.shared = {}
         self.steps = 0
+        costs = config.costs
+        self._strict = config.strict_lockstep
+        self._line_words = config.line_words
+        self._smem_banks = config.smem_banks
+        self._issue_cost = costs.issue_cost
+        self._mem_txn_cost = costs.mem_txn_cost
+        self._mem_pipeline_cost = costs.mem_pipeline_cost
+        self._atomic_cost = costs.atomic_cost
+        self._l2_read_cost = costs.l2_read_cost
+        self._smem_cost = costs.smem_cost
+        self._fence_cost = costs.fence_cost
 
     def add_lane(self, gen, tc):
         """Register a lane; called by the device during launch."""
-        self.lanes.append(Lane(gen, tc))
+        lane = Lane(gen, tc)
+        self.lanes.append(lane)
+        # the stepper iterates (gen, lane) pairs: unpacking is cheaper than
+        # per-lane attribute loads, and retired lanes are dropped from this
+        # list so long-lived divergent warps don't re-scan them
+        self.active.append((gen, lane))
         self.live += 1
 
     @property
@@ -85,48 +140,70 @@ class Warp:
     # Stepping
     # ------------------------------------------------------------------
     def step(self):
-        """Resume every active lane once; return the step's throughput cost."""
-        self.step_ops.clear()
+        """Resume every active lane once.
+
+        Returns ``(cost, finished, mem_txns)``: the step's throughput cost,
+        how many lanes retired, and the memory transactions it generated
+        (returned directly so the scheduler's issue loop does not need an
+        attribute load per step).
+        """
+        self.step_nops = 0
+        self.step_kind = None
+        self.step_phase = None
+        self.step_groups.clear()
         self.step_work = 0
         self.step_extra = 0
         self.step_mem_txns = 0
         compute_lanes = 0
-        strict = self.config.strict_lockstep
+        strict = self._strict
         finished = 0
-        for lane in self.lanes:
-            if lane.done:
-                continue
-            tc = lane.tc
-            tc.ops_in_resume = 0
-            exited = False
+        for gen, lane in self.active:
+            # ops-per-resumption is derived from the warp-level record count
+            # (step_nops) rather than a per-lane counter: every record-path
+            # op bumps step_nops exactly once, so the delta across next() is
+            # the lane's op count without a per-lane store + per-op increment
+            prev_nops = self.step_nops
             try:
-                next(lane.gen)
+                next(gen)
             except StopIteration:
+                tc = lane.tc
                 lane.done = True
-                exited = True
                 self.live -= 1
                 finished += 1
                 self.waiting.pop(tc.lane_id, None)
-            if strict and tc.ops_in_resume > 1:
-                raise GpuError(
-                    "lane %d of warp %d performed %d globally-visible "
-                    "operations in one step; lockstep kernels must yield "
-                    "after each operation"
-                    % (tc.lane_id, self.warp_id, tc.ops_in_resume)
-                )
-            if tc.ops_in_resume == 0 and not exited:
+                ops = self.step_nops - prev_nops
+                if strict and ops > 1:
+                    raise GpuError(
+                        "lane %d of warp %d performed %d globally-visible "
+                        "operations in one step; lockstep kernels must "
+                        "yield after each operation"
+                        % (tc.lane_id, self.warp_id, ops)
+                    )
+                continue
+            ops = self.step_nops - prev_nops
+            if ops == 0:
                 # The final StopIteration resumption is a simulator artifact,
                 # not an instruction; only live op-less resumptions count as
                 # compute issues.
                 compute_lanes += 1
-        self._maybe_reconverge()
+            elif strict and ops > 1:
+                raise GpuError(
+                    "lane %d of warp %d performed %d globally-visible "
+                    "operations in one step; lockstep kernels must yield "
+                    "after each operation"
+                    % (lane.tc.lane_id, self.warp_id, ops)
+                )
+        if finished:
+            self.active = [entry for entry in self.active if not entry[1].done]
+        if self.waiting:
+            self._maybe_reconverge()
         self.steps += 1
-        return self._step_cost(compute_lanes), finished
+        return self._step_cost(compute_lanes), finished, self.step_mem_txns
 
     def _maybe_reconverge(self):
         """Release a reconvergence point once all live lanes reached it."""
         waiting = self.waiting
-        if not waiting or len(waiting) < self.live:
+        if len(waiting) < self.live:
             return
         labels = set(waiting.values())
         if len(labels) == 1:
@@ -135,45 +212,57 @@ class Warp:
 
     def _step_cost(self, compute_lanes):
         """Fold this step's operation records into cycles."""
-        costs = self.config.costs
-        line_words = self.config.line_words
         cost = self.step_work + self.step_extra
-        if compute_lanes and not self.step_ops and not self.step_work and not self.step_extra:
-            # A pure bookkeeping step still occupies an issue slot.
-            cost += costs.issue_cost
-        if not self.step_ops:
+        if not self.step_nops:
+            if compute_lanes and not self.step_work and not self.step_extra:
+                # A pure bookkeeping step still occupies an issue slot.
+                cost += self._issue_cost
             return cost
-        groups = {}
-        for _lane, kind, addr, phase in self.step_ops:
-            groups.setdefault((kind, phase), []).append(addr)
-        for (kind, _phase), addrs in groups.items():
-            cost += costs.issue_cost
-            if kind == OpKind.READ or kind == OpKind.WRITE:
-                lines = {addr // line_words for addr in addrs}
-                # first line pays full latency; the rest pipeline behind it
-                cost += costs.mem_txn_cost
-                cost += costs.mem_pipeline_cost * (len(lines) - 1)
-                self.step_mem_txns += len(lines)
-            elif kind == OpKind.ATOMIC:
-                multiplicity = {}
-                for addr in addrs:
-                    multiplicity[addr] = multiplicity.get(addr, 0) + 1
-                cost += costs.atomic_cost * max(multiplicity.values())
-                self.step_mem_txns += len(multiplicity)
-            elif kind == OpKind.L2_READ:
+        issue_cost = self._issue_cost
+        line_words = self._line_words
+        mem_txns = 0
+        for (kind, _phase), addrs in self.step_groups.items():
+            cost += issue_cost
+            if kind == _READ or kind == _WRITE:
+                if len(addrs) == 1:
+                    # single access: one line, full latency
+                    cost += self._mem_txn_cost
+                    mem_txns += 1
+                else:
+                    lines = {addr // line_words for addr in addrs}
+                    # first line pays full latency; the rest pipeline
+                    # behind it
+                    cost += self._mem_txn_cost
+                    cost += self._mem_pipeline_cost * (len(lines) - 1)
+                    mem_txns += len(lines)
+            elif kind == _ATOMIC:
+                distinct = len(set(addrs))
+                if distinct == len(addrs):
+                    # all-distinct addresses: no same-address serialization
+                    cost += self._atomic_cost
+                else:
+                    multiplicity = {}
+                    get = multiplicity.get
+                    for addr in addrs:
+                        multiplicity[addr] = get(addr, 0) + 1
+                    cost += self._atomic_cost * max(multiplicity.values())
+                mem_txns += distinct
+            elif kind == _L2_READ:
                 # L2 hit: flat cost per instruction, no DRAM transaction
-                cost += costs.l2_read_cost
-            elif kind == OpKind.SMEM:
+                cost += self._l2_read_cost
+            elif kind == _SMEM:
                 # bank conflicts: same-bank accesses in one instruction
                 # serialize; conflict-free warps pay one shared-memory cycle
-                banks = self.config.smem_banks
+                banks = self._smem_banks
                 per_bank = {}
+                get = per_bank.get
                 for addr in addrs:
                     bank = addr % banks
-                    per_bank[bank] = per_bank.get(bank, 0) + 1
-                cost += costs.smem_cost * max(per_bank.values())
-            elif kind == OpKind.FENCE:
-                cost += costs.fence_cost
+                    per_bank[bank] = get(bank, 0) + 1
+                cost += self._smem_cost * max(per_bank.values())
+            elif kind == _FENCE:
+                cost += self._fence_cost
+        self.step_mem_txns += mem_txns
         return cost
 
 

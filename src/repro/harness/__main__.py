@@ -3,12 +3,17 @@
 Usage::
 
     python -m repro.harness table1 [--quick]
-    python -m repro.harness fig2 [--quick]
+    python -m repro.harness fig2 [--quick] [--jobs N]
     python -m repro.harness fig3 [--quick]
     python -m repro.harness fig4 [--quick]
     python -m repro.harness fig5 [--quick]
     python -m repro.harness table2 [--quick]
-    python -m repro.harness all --quick
+    python -m repro.harness all --quick --jobs 4
+
+``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
+independent runs of each sweep out over N worker processes; results are
+identical to a serial run.  ``--profile`` prints a cProfile summary of the
+driving process after each target (use with ``--jobs 1``).
 """
 
 import argparse
@@ -16,6 +21,8 @@ import sys
 import time
 
 from repro.harness import experiments
+from repro.harness.parallel import default_jobs
+from repro.harness.profiling import maybe_profile
 
 TARGETS = {
     "table1": experiments.table1,
@@ -36,14 +43,26 @@ def main(argv=None):
     parser.add_argument(
         "--quick", action="store_true", help="scaled-down geometry for a fast pass"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the sweep (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a cProfile summary of each target (driving process only)",
+    )
     args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     names = sorted(TARGETS) if args.target == "all" else [args.target]
     for name in names:
         started = time.time()
-        result = TARGETS[name](quick=args.quick)
+        with maybe_profile(args.profile):
+            result = TARGETS[name](quick=args.quick, jobs=jobs)
         print(result.render())
-        print("[%s regenerated in %.1fs]" % (name, time.time() - started))
+        print("[%s regenerated in %.1fs, jobs=%d]" % (name, time.time() - started, jobs))
         print()
     return 0
 

@@ -4,12 +4,18 @@ Every public function regenerates one evaluation artifact of the paper and
 returns a plain-data result object with a ``render()`` method producing the
 ASCII table the benchmark harness prints.  Scaled geometries are documented
 in :mod:`repro.harness.configs`; EXPERIMENTS.md records paper-vs-measured.
+
+Each driver builds its sweep as a list of :class:`~repro.harness.parallel.
+JobSpec` descriptions and hands them to :func:`~repro.harness.parallel.
+run_jobs`, so any figure can fan out over worker processes (``jobs=N`` /
+``REPRO_JOBS``) without changing its results: runs are independent, results
+are filed by spec key, and assembly order is fixed by the spec list.
 """
 
 from repro.gpu.events import Phase
 from repro.harness import configs
+from repro.harness.parallel import JobSpec, run_jobs
 from repro.harness.report import render_breakdown, render_series, render_table
-from repro.harness.runner import run_workload
 from repro.workloads import make_workload
 
 FIG2_WORKLOADS = ("ra", "ht", "gn", "lb", "km")
@@ -65,19 +71,11 @@ class Fig2Result:
         )
 
 
-def fig2(quick=False):
+def fig2(quick=False, jobs=None):
     """Speedup of every STM variant over CGL on the five workloads."""
-    result = Fig2Result()
+    specs = []
     for name in FIG2_WORKLOADS:
-        result.speedups[name] = {}
-        result.cycles[name] = {}
-        baseline = run_workload(
-            make_workload(name, **_params(name, quick)),
-            "cgl",
-            configs.bench_gpu(),
-            num_locks=configs.DEFAULT_NUM_LOCKS,
-        )
-        result.cycles[name]["cgl"] = baseline.cycles
+        specs.append(JobSpec((name, "cgl"), name, _params(name, quick), "cgl"))
         for variant in FIG2_VARIANTS:
             if variant == "egpgv":
                 # EGPGV runs the same total work at its maximum supported
@@ -87,14 +85,23 @@ def fig2(quick=False):
                     params = _scaled(params, 4)
             else:
                 params = _params(name, quick)
-            run = run_workload(
-                make_workload(name, **params),
-                variant,
-                configs.bench_gpu(),
-                num_locks=configs.DEFAULT_NUM_LOCKS,
-                stm_overrides=configs.egpgv_capacity(),
-                allow_crash=True,
+            specs.append(
+                JobSpec(
+                    (name, variant), name, params, variant,
+                    stm_overrides=configs.egpgv_capacity(),
+                    allow_crash=True,
+                )
             )
+    outcomes = {out.key: out for out in run_jobs(specs, jobs)}
+
+    result = Fig2Result()
+    for name in FIG2_WORKLOADS:
+        result.speedups[name] = {}
+        result.cycles[name] = {}
+        baseline = outcomes[(name, "cgl")].unwrap()
+        result.cycles[name]["cgl"] = baseline.cycles
+        for variant in FIG2_VARIANTS:
+            run = outcomes[(name, variant)].unwrap()
             if run.crashed:
                 result.speedups[name][variant] = None
             else:
@@ -133,7 +140,7 @@ FIG3_VARIANTS = ("egpgv", "vbv", "tbv-sorting", "hv-backoff", "hv-sorting", "opt
 
 
 def fig3(workload_name="ra", thread_counts=(8, 32, 128, 512, 2048), total_txs=2048,
-         quick=False):
+         quick=False, jobs=None):
     """Fixed total work split over a swept number of threads.
 
     Reproduces: EGPGV crashes early (static per-block metadata), VBV
@@ -142,23 +149,28 @@ def fig3(workload_name="ra", thread_counts=(8, 32, 128, 512, 2048), total_txs=20
     if quick:
         thread_counts = thread_counts[:3]
         total_txs = total_txs // 4
-    result = Fig3Result(workload_name, list(thread_counts))
+    specs = []
     for variant in FIG3_VARIANTS:
-        series = []
         for threads in thread_counts:
             block = min(32, threads)
             grid = max(1, threads // block)
             txs_per_thread = max(1, total_txs // (grid * block))
             params = configs.bench_workload_params(workload_name)
             params.update(grid=grid, block=block, txs_per_thread=txs_per_thread)
-            run = run_workload(
-                make_workload(workload_name, **params),
-                variant,
-                configs.bench_gpu(),
-                num_locks=configs.DEFAULT_NUM_LOCKS,
-                stm_overrides=configs.egpgv_capacity(),
-                allow_crash=True,
+            specs.append(
+                JobSpec(
+                    (variant, threads), workload_name, params, variant,
+                    stm_overrides=configs.egpgv_capacity(),
+                    allow_crash=True,
+                )
             )
+    outcomes = {out.key: out for out in run_jobs(specs, jobs)}
+
+    result = Fig3Result(workload_name, list(thread_counts))
+    for variant in FIG3_VARIANTS:
+        series = []
+        for threads in thread_counts:
+            run = outcomes[(variant, threads)].unwrap()
             series.append(None if run.crashed else run.cycles)
         result.cycles[variant] = series
     return result
@@ -210,6 +222,7 @@ def fig4(
     lock_sizes=(1024, 4096, 16384),
     thread_counts=(256, 1024),
     quick=False,
+    jobs=None,
 ):
     """EigenBench sweep: HV vs TBV across shared-data and lock-table sizes.
 
@@ -221,8 +234,8 @@ def fig4(
         shared_sizes = shared_sizes[:2]
         lock_sizes = lock_sizes[:2]
         thread_counts = thread_counts[:1]
-    result = Fig4Result(list(shared_sizes), list(lock_sizes), list(thread_counts))
     block = 32
+    specs = []
     for shared in shared_sizes:
         for threads in thread_counts:
             grid = max(1, threads // block)
@@ -230,20 +243,24 @@ def fig4(
                 hot_size=shared, grid=grid, block=block,
                 txs_per_thread=2, reads_per_tx=4, writes_per_tx=2,
             )
-            baseline = run_workload(
-                make_workload("eb", **params),
-                "cgl",
-                configs.bench_gpu(),
-                num_locks=configs.DEFAULT_NUM_LOCKS,
-            )
+            specs.append(JobSpec(("cgl", shared, threads), "eb", params, "cgl"))
             for locks in lock_sizes:
                 for scheme, variant in (("hv", "hv-sorting"), ("tbv", "tbv-sorting")):
-                    run = run_workload(
-                        make_workload("eb", **params),
-                        variant,
-                        configs.bench_gpu(),
-                        num_locks=locks,
+                    specs.append(
+                        JobSpec(
+                            (shared, locks, threads, scheme), "eb", params,
+                            variant, num_locks=locks,
+                        )
                     )
+    outcomes = {out.key: out for out in run_jobs(specs, jobs)}
+
+    result = Fig4Result(list(shared_sizes), list(lock_sizes), list(thread_counts))
+    for shared in shared_sizes:
+        for threads in thread_counts:
+            baseline = outcomes[("cgl", shared, threads)].unwrap()
+            for locks in lock_sizes:
+                for scheme in ("hv", "tbv"):
+                    run = outcomes[(shared, locks, threads, scheme)].unwrap()
                     result.points[(shared, locks, threads, scheme)] = (
                         baseline.cycles / run.cycles,
                         run.abort_rate,
@@ -277,7 +294,7 @@ class Fig5Result:
         )
 
 
-def fig5(quick=False):
+def fig5(quick=False, jobs=None):
     """Phase breakdown of GN-1, GN-2, LB and KM under STM-Optimized.
 
     Paper shape: GN-2 dominated by STM overhead (init/buffering); LB and KM
@@ -285,21 +302,19 @@ def fig5(quick=False):
     native share (BFS planning); KM burns a visible share in aborted
     transactions.
     """
+    specs = [
+        JobSpec(name, name, _params(name, quick), "optimized")
+        for name in ("gn", "lb", "km")
+    ]
+    outcomes = {out.key: out for out in run_jobs(specs, jobs)}
+
     result = Fig5Result()
-
-    def breakdown_of(kernel_result):
-        return kernel_result.phases.fractions()
-
-    gn = make_workload("gn", **_params("gn", quick))
-    run = run_workload(gn, "optimized", configs.bench_gpu(),
-                       num_locks=configs.DEFAULT_NUM_LOCKS)
-    result.rows.append(("GN-1", breakdown_of(run.kernel_results[0])))
-    result.rows.append(("GN-2", breakdown_of(run.kernel_results[1])))
+    gn = outcomes["gn"].unwrap()
+    result.rows.append(("GN-1", gn.kernel_results[0].phases.fractions()))
+    result.rows.append(("GN-2", gn.kernel_results[1].phases.fractions()))
     for name, label in (("lb", "LB"), ("km", "KM")):
-        workload = make_workload(name, **_params(name, quick))
-        run = run_workload(workload, "optimized", configs.bench_gpu(),
-                           num_locks=configs.DEFAULT_NUM_LOCKS)
-        result.rows.append((label, breakdown_of(run.kernel_results[0])))
+        run = outcomes[name].unwrap()
+        result.rows.append((label, run.kernel_results[0].phases.fractions()))
     return result
 
 
@@ -329,19 +344,23 @@ class Table1Result:
         )
 
 
-def table1(quick=False):
+def table1(quick=False, jobs=None):
     """Measure the Table 1 columns for every workload under hv-sorting."""
+    names = ("ra", "ht", "eb", "lb", "gn", "km")
+    specs = [
+        JobSpec(name, name, _params(name, quick), "hv-sorting") for name in names
+    ]
+    outcomes = {out.key: out for out in run_jobs(specs, jobs)}
+
     result = Table1Result()
-    for name in ("ra", "ht", "eb", "lb", "gn", "km"):
+    for name in names:
+        run = outcomes[name].unwrap()
+        # shared_data_size is a property of the constructed workload, not of
+        # the run; rebuild the (cheap) workload object to read it
         workload = make_workload(name, **_params(name, quick))
-        run = run_workload(
-            workload, "hv-sorting", configs.bench_gpu(),
-            num_locks=configs.DEFAULT_NUM_LOCKS,
-        )
         attempts = run.stats.get("begins", run.commits)
         for index, kernel_result in enumerate(run.kernel_results):
             label = "%s-%d" % (name, index + 1) if len(run.kernel_results) > 1 else name
-            counters = kernel_result.counters
             result.rows.append(
                 dict(
                     workload=name,
@@ -413,7 +432,7 @@ class AblationResult:
         )
 
 
-def ablations(quick=False):
+def ablations(quick=False, jobs=None):
     """Isolate the paper's design decisions one at a time."""
     from repro.gpu import Device, ProgressError
     from repro.gpu.config import GpuConfig
@@ -425,7 +444,9 @@ def ablations(quick=False):
 
     result = AblationResult()
 
-    # 1) encounter-time lock-sorting vs none (livelock freedom)
+    # 1) encounter-time lock-sorting vs none (livelock freedom).  This study
+    # drives hand-built devices and inspects runtime objects, so it stays
+    # serial; studies 2-5 below are plain run_workload sweeps and fan out.
     def crossed(device):
         data = device.mem.alloc(8, "data")
         return data
@@ -444,17 +465,43 @@ def ablations(quick=False):
     device.launch(crossed_order_kernel(data, 1), 1, 2, attach=runtime.attach)
     result.sorting["sorted_commits"] = runtime.stats["commits"]
 
-    # 2) hashed vs flat lock-log (sorted-insertion comparisons)
+    # 2-5) one spec list: hashed vs flat lock-log, coalesced vs scattered
+    # logs, the lock-attempt threshold, and scheduler granularity
     ra_params = _params("ra", quick=True)
+    km_params = _params("km", quick=True)
+    specs = []
     for label, buckets in (("flat", 1), ("hashed", 16)):
-        run = run_workload(
-            make_workload("ra", **ra_params),
-            "hv-sorting",
-            configs.bench_gpu(),
-            num_locks=configs.DEFAULT_NUM_LOCKS,
-            stm_overrides=dict(lock_log_buckets=buckets),
-            verify=False,
+        specs.append(
+            JobSpec(
+                ("locklog", label), "ra", ra_params, "hv-sorting",
+                stm_overrides=dict(lock_log_buckets=buckets), verify=False,
+            )
         )
+    for label, coalesced in (("coalesced", True), ("scattered", False)):
+        specs.append(
+            JobSpec(
+                ("coalescing", label), "ra", ra_params, "hv-sorting",
+                stm_overrides=dict(coalesced_logs=coalesced),
+            )
+        )
+    for attempts in (1, 4, 16):
+        specs.append(
+            JobSpec(
+                ("lock_attempts", attempts), "km", km_params, "hv-sorting",
+                stm_overrides=dict(max_lock_attempts=attempts),
+            )
+        )
+    for turn in (1, 8):
+        specs.append(
+            JobSpec(
+                ("scheduler", turn), "km", km_params, "hv-sorting",
+                gpu_overrides=dict(warp_steps_per_turn=turn),
+            )
+        )
+    outcomes = {out.key: out for out in run_jobs(specs, jobs)}
+
+    for label in ("flat", "hashed"):
+        run = outcomes[("locklog", label)].unwrap()
         result.locklog["%s_comparisons" % label] = run.stats.get(
             "locklog_comparisons", 0
         )
@@ -462,47 +509,24 @@ def ablations(quick=False):
     hashed = max(result.locklog["hashed_comparisons"], 1)
     result.locklog["ratio"] = flat / hashed
 
-    # 3) coalesced vs scattered read-/write-set organization
-    for label, coalesced in (("coalesced", True), ("scattered", False)):
-        run = run_workload(
-            make_workload("ra", **ra_params),
-            "hv-sorting",
-            configs.bench_gpu(),
-            num_locks=configs.DEFAULT_NUM_LOCKS,
-            stm_overrides=dict(coalesced_logs=coalesced),
-        )
+    for label in ("coalesced", "scattered"):
+        run = outcomes[("coalescing", label)].unwrap()
         result.coalescing["%s_cycles" % label] = run.cycles
     result.coalescing["ratio"] = (
         result.coalescing["scattered_cycles"] / result.coalescing["coalesced_cycles"]
     )
 
-    # 4) lock-acquisition abort threshold (section 4.3's practical note)
-    km_params = _params("km", quick=True)
     for attempts in (1, 4, 16):
-        run = run_workload(
-            make_workload("km", **km_params),
-            "hv-sorting",
-            configs.bench_gpu(),
-            num_locks=configs.DEFAULT_NUM_LOCKS,
-            stm_overrides=dict(max_lock_attempts=attempts),
-        )
+        run = outcomes[("lock_attempts", attempts)].unwrap()
         result.lock_attempts[attempts] = (run.cycles, run.abort_rate)
 
-    # 5) warp scheduling policy: interleaving granularity vs conflicts
     for turn in (1, 8):
-        gpu = configs.bench_gpu()
-        gpu.warp_steps_per_turn = turn
-        run = run_workload(
-            make_workload("km", **km_params),
-            "hv-sorting",
-            gpu,
-            num_locks=configs.DEFAULT_NUM_LOCKS,
-        )
+        run = outcomes[("scheduler", turn)].unwrap()
         result.scheduler[turn] = (run.cycles, run.abort_rate)
     return result
 
 
-def table2(quick=False):
+def table2(quick=False, jobs=None):
     """Sweep launch geometries per workload; report the optimum."""
     sweeps = {
         "ra": [(8, 32), (16, 32), (16, 64), (32, 32)],
@@ -511,24 +535,33 @@ def table2(quick=False):
         "lb": [(7, 32), (14, 32), (28, 32)],
         "km": [(4, 32), (8, 32), (16, 32), (32, 32)],
     }
-    result = Table2Result()
+    specs = []
     for name, geometries in sweeps.items():
         if quick:
             geometries = geometries[:2]
-        best = None
         for grid, block in geometries:
             params = _params(name, quick)
             if name == "lb":
                 params.update(grid_blocks=grid, block_threads=block)
             else:
                 params.update(grid=grid, block=block)
-            run = run_workload(
-                make_workload(name, **params),
-                "optimized",
-                configs.bench_gpu(),
-                num_locks=configs.DEFAULT_NUM_LOCKS,
-                stm_overrides=configs.egpgv_capacity(),
+            specs.append(
+                JobSpec(
+                    (name, grid, block), name, params, "optimized",
+                    stm_overrides=configs.egpgv_capacity(),
+                )
             )
+    outcomes = {out.key: out for out in run_jobs(specs, jobs)}
+
+    result = Table2Result()
+    for name, geometries in sweeps.items():
+        if quick:
+            geometries = geometries[:2]
+        best = None
+        for grid, block in geometries:
+            run = outcomes[(name, grid, block)].unwrap()
+            # strict < keeps the original tie-break: the earliest geometry
+            # in sweep order wins among equals
             if best is None or run.cycles < best[2]:
                 best = (grid, block, run.cycles)
         result.rows.append((name, best[0], best[1], best[2]))

@@ -1,0 +1,181 @@
+"""Process-parallel execution of independent experiment runs.
+
+Every figure/table of the paper is a sweep of independent ``run_workload``
+calls: each run builds its own fresh :class:`~repro.gpu.memory.GlobalMemory`
+and :class:`~repro.gpu.scheduler.Device`, so runs share no state and their
+results do not depend on execution order.  That makes the sweeps trivially
+parallel across *processes* (the simulator is pure Python, so threads would
+serialize on the GIL).
+
+The unit of work is a :class:`JobSpec` — a picklable, declarative
+description of one run (workload name + constructor params, STM variant,
+lock-table size, config overrides).  A worker process rebuilds the workload
+and device from the spec, runs it, and ships back a :class:`JobResult`.
+Exceptions inside a worker (``ProgressError`` watchdog trips,
+``EgpgvCapacityError`` past the crash-tolerant paths, verification failures)
+are captured into the result instead of killing the pool, so one diverging
+design point cannot take down a whole sweep.
+
+``run_jobs(specs, jobs=n)`` preserves spec order in its result list, so a
+sweep assembled from the results is bit-identical to the serial run no
+matter how many workers raced, and ``jobs=1`` bypasses process creation
+entirely (the default: correct everywhere, including environments where
+multiprocessing is restricted).
+
+The worker count comes from, in order: the ``jobs`` argument, the
+``REPRO_JOBS`` environment variable, else 1.
+"""
+
+import os
+import traceback
+
+from repro.harness import configs
+from repro.harness.runner import run_workload
+from repro.workloads import make_workload
+
+DEFAULT_JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs():
+    """Worker count from the ``REPRO_JOBS`` environment variable (>= 1)."""
+    value = os.environ.get(DEFAULT_JOBS_ENV, "").strip()
+    if not value:
+        return 1
+    try:
+        return max(1, int(value))
+    except ValueError:
+        raise ValueError(
+            "%s must be an integer, got %r" % (DEFAULT_JOBS_ENV, value)
+        )
+
+
+class JobSpec:
+    """A picklable description of one ``run_workload`` call.
+
+    ``key`` is an arbitrary (picklable) tag the sweep uses to file the
+    result; it is carried through untouched.  ``gpu_overrides`` are
+    attribute overrides applied to :func:`configs.bench_gpu` in the worker
+    (e.g. ``{"warp_steps_per_turn": 8}``) — the spec carries plain data
+    rather than a config object so it pickles cheaply and stays readable
+    in logs.
+    """
+
+    __slots__ = (
+        "key",
+        "workload",
+        "params",
+        "variant",
+        "num_locks",
+        "stm_overrides",
+        "gpu_overrides",
+        "verify",
+        "allow_crash",
+    )
+
+    def __init__(self, key, workload, params, variant,
+                 num_locks=configs.DEFAULT_NUM_LOCKS, stm_overrides=None,
+                 gpu_overrides=None, verify=True, allow_crash=False):
+        self.key = key
+        self.workload = workload
+        self.params = dict(params)
+        self.variant = variant
+        self.num_locks = num_locks
+        self.stm_overrides = dict(stm_overrides) if stm_overrides else None
+        self.gpu_overrides = dict(gpu_overrides) if gpu_overrides else None
+        self.verify = verify
+        self.allow_crash = allow_crash
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def __repr__(self):
+        return "JobSpec(%r, %s/%s)" % (self.key, self.workload, self.variant)
+
+
+class JobResult:
+    """Outcome of one :class:`JobSpec`: a ``RunResult`` or a captured error."""
+
+    __slots__ = ("key", "run", "error")
+
+    def __init__(self, key, run=None, error=None):
+        self.key = key
+        self.run = run
+        self.error = error
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    @property
+    def failed(self):
+        return self.error is not None
+
+    def unwrap(self):
+        """Return the ``RunResult``; re-raise a captured worker error."""
+        if self.error is not None:
+            raise RuntimeError(
+                "experiment job %r failed in worker:\n%s" % (self.key, self.error)
+            )
+        return self.run
+
+    def __repr__(self):
+        if self.failed:
+            return "JobResult(%r, FAILED: %s)" % (self.key, self.error.splitlines()[-1])
+        return "JobResult(%r, %r)" % (self.key, self.run)
+
+
+def execute_job(spec):
+    """Run one spec in the current process; never raises.
+
+    Module-level (not a closure) so it pickles for ProcessPoolExecutor.
+    """
+    try:
+        gpu = configs.bench_gpu()
+        if spec.gpu_overrides:
+            for attr, value in spec.gpu_overrides.items():
+                if not hasattr(gpu, attr):
+                    raise ValueError("unknown GpuConfig attribute %r" % attr)
+                setattr(gpu, attr, value)
+        run = run_workload(
+            make_workload(spec.workload, **spec.params),
+            spec.variant,
+            gpu,
+            num_locks=spec.num_locks,
+            stm_overrides=spec.stm_overrides,
+            verify=spec.verify,
+            allow_crash=spec.allow_crash,
+        )
+        return JobResult(spec.key, run=run)
+    except Exception:
+        return JobResult(spec.key, error=traceback.format_exc())
+
+
+def run_jobs(specs, jobs=None):
+    """Execute ``specs``; return :class:`JobResult` objects in spec order.
+
+    ``jobs=1`` (or a single spec) runs serially in-process with no
+    executor.  With ``jobs > 1`` the specs fan out over a
+    ``ProcessPoolExecutor``; ordering, and therefore every figure built
+    from the results, is identical either way.
+    """
+    specs = list(specs)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(specs) <= 1:
+        return [execute_job(spec) for spec in specs]
+    # imported lazily: the serial path must work even where process
+    # spawning is unavailable (sandboxes, some CI runners)
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = min(jobs, len(specs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # pool.map preserves input order; chunksize 1 keeps long and short
+        # runs from being glued to the same worker
+        return list(pool.map(execute_job, specs, chunksize=1))

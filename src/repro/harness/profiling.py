@@ -1,0 +1,38 @@
+"""Optional cProfile instrumentation for harness runs.
+
+The simulator's throughput (warp-steps/second) is the practical limit on
+how much of the paper we can sweep, so the harness can profile itself:
+``python -m repro.harness fig2 --quick --profile`` prints the top of the
+cumulative-time profile after the run.  Profiling covers the driving
+process only — parallel workers (``--jobs``) run unprofiled, so profile
+with ``--jobs 1`` to see the simulator hot path.
+"""
+
+import cProfile
+import pstats
+from contextlib import contextmanager
+
+#: default number of rows of the profile table to print
+DEFAULT_LIMIT = 25
+
+
+@contextmanager
+def maybe_profile(enabled, stream=None, limit=DEFAULT_LIMIT,
+                  sort="cumulative"):
+    """Context manager: profile the enclosed block when ``enabled``.
+
+    When ``enabled`` is false this is a no-op with zero overhead, so call
+    sites can wrap their work unconditionally.  On exit the profile is
+    printed to ``stream`` (default stdout), sorted by ``sort``.
+    """
+    if not enabled:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats(sort).print_stats(limit)

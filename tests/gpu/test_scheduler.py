@@ -104,6 +104,46 @@ class TestWatchdog:
         warps = exc.value.snapshot["live_warps"]
         assert warps[0]["live_lanes"] == 1
 
+    def test_snapshot_reports_waiting_labels_of_deadlocked_reconvergence(self):
+        """A lane parked at a reconvergence point its sibling never reaches
+        deadlocks the warp; the watchdog snapshot must name the parked lane
+        and its label so the failure is debuggable."""
+        dev = Device(small_config(warp_size=2, num_sms=1, max_steps=500))
+
+        def kernel(tc):
+            if tc.lane_id == 0:
+                yield from tc.reconverge("rendezvous")
+            else:
+                while True:
+                    tc.work(1)
+                    yield
+
+        with pytest.raises(ProgressError) as exc:
+            dev.launch(kernel, 1, 2)
+        warps = exc.value.snapshot["live_warps"]
+        assert len(warps) == 1
+        state = warps[0]
+        assert state["sm"] == 0
+        assert state["warp"] == 0
+        assert state["live_lanes"] == 2
+        assert state["waiting"] == {0: "rendezvous"}
+
+    def test_snapshot_lists_every_live_warp(self):
+        """All still-resident warps appear in the snapshot, across SMs."""
+        dev = Device(small_config(warp_size=2, num_sms=2, max_steps=500))
+
+        def kernel(tc):
+            while True:
+                tc.work(1)
+                yield
+
+        with pytest.raises(ProgressError) as exc:
+            dev.launch(kernel, 4, 2)
+        warps = exc.value.snapshot["live_warps"]
+        assert len(warps) == 4
+        assert {w["sm"] for w in warps} == {0, 1}
+        assert sorted(w["warp"] for w in warps) == [0, 1, 2, 3]
+
 
 class TestCycleAccounting:
     def test_cycles_positive_and_max_of_sms(self):

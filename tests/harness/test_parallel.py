@@ -1,0 +1,94 @@
+"""The process-parallel job harness: specs, ordering, crash capture."""
+
+import pickle
+
+import pytest
+
+from repro.harness import configs
+from repro.harness.parallel import (
+    JobSpec,
+    default_jobs,
+    execute_job,
+    run_jobs,
+)
+
+
+def _ra_spec(key, variant="hv-sorting", **kwargs):
+    return JobSpec(
+        key, "ra", configs.test_workload_params("ra"), variant,
+        num_locks=64, **kwargs
+    )
+
+
+class TestJobSpec:
+    def test_pickle_round_trip(self):
+        spec = _ra_spec(("ra", "hv-sorting"), stm_overrides=dict(max_lock_attempts=4),
+                        gpu_overrides=dict(max_steps=100000), verify=False,
+                        allow_crash=True)
+        clone = pickle.loads(pickle.dumps(spec))
+        for slot in JobSpec.__slots__:
+            assert getattr(clone, slot) == getattr(spec, slot), slot
+
+    def test_params_copied_not_aliased(self):
+        params = configs.test_workload_params("ra")
+        spec = JobSpec("k", "ra", params, "cgl")
+        params["grid"] = 999
+        assert spec.params["grid"] != 999
+
+
+class TestDefaultJobs:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+
+    def test_env_value_used(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert default_jobs() == 4
+
+    def test_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            default_jobs()
+
+
+class TestRunJobs:
+    def test_results_in_spec_order_with_keys(self):
+        specs = [_ra_spec(("ra", v), variant=v) for v in ("cgl", "hv-sorting")]
+        results = run_jobs(specs, jobs=1)
+        assert [r.key for r in results] == [("ra", "cgl"), ("ra", "hv-sorting")]
+        for result in results:
+            assert not result.failed
+            assert result.unwrap().cycles > 0
+
+    @pytest.mark.slow
+    def test_parallel_matches_serial(self):
+        specs = [_ra_spec(("ra", v), variant=v) for v in ("cgl", "hv-sorting")]
+        serial = run_jobs(specs, jobs=1)
+        parallel = run_jobs(specs, jobs=2)
+        assert [r.key for r in parallel] == [r.key for r in serial]
+        assert [r.unwrap().cycles for r in parallel] == [
+            r.unwrap().cycles for r in serial
+        ]
+        assert [r.unwrap().commits for r in parallel] == [
+            r.unwrap().commits for r in serial
+        ]
+
+    def test_worker_crash_is_captured_not_raised(self):
+        # max_steps=50 trips the watchdog (ProgressError) inside the worker;
+        # the sibling job must still complete
+        specs = [
+            _ra_spec("doomed", gpu_overrides=dict(max_steps=50)),
+            _ra_spec("fine"),
+        ]
+        doomed, fine = run_jobs(specs, jobs=1)
+        assert doomed.failed
+        assert "ProgressError" in doomed.error
+        with pytest.raises(RuntimeError, match="doomed"):
+            doomed.unwrap()
+        assert not fine.failed
+        assert fine.unwrap().commits > 0
+
+    def test_unknown_gpu_override_is_captured(self):
+        result = execute_job(_ra_spec("bad", gpu_overrides=dict(nonsense=1)))
+        assert result.failed
+        assert "nonsense" in result.error
