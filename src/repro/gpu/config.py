@@ -73,6 +73,16 @@ class GpuConfig:
     # greedy-then-oldest scheduler (coarser interleaving, which changes how
     # often transactions overlap — see the scheduler-policy ablation).
     warp_steps_per_turn: int = 1
+    # Warp-selection policy spec resolved by repro.sched.policy.make_policy
+    # ("rr", "random:SEED", "greedy:TURN", "adversarial:SEED", a policy
+    # instance, or a recorded-trace dict).  "rr" preserves the historical
+    # fixed round-robin issue bit-identically.  An explicit ``policy=``
+    # argument to Device.launch overrides this.
+    scheduler: object = "rr"
+    # Capture the issue trace of every launch into a ScheduleTrace
+    # (attached to the KernelResult as ``schedule_trace``), so the exact
+    # interleaving can be serialized and replayed.
+    record_schedule: bool = False
     costs: CostModel = field(default_factory=CostModel)
     # Watchdog: launch fails with ProgressError after this many warp steps.
     max_steps: int = 20_000_000

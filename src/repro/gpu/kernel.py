@@ -23,6 +23,7 @@ class KernelResult:
         "thread_cycles_in_tx",
         "mem_txns",
         "bandwidth_cycles",
+        "schedule_trace",
     )
 
     def __init__(self, kernel_name, cycles, sm_cycles, steps):
@@ -37,6 +38,8 @@ class KernelResult:
         self.thread_cycles_in_tx = 0
         self.mem_txns = 0
         self.bandwidth_cycles = 0
+        # ScheduleTrace of the launch when recorded, else None
+        self.schedule_trace = None
 
     def absorb_thread(self, tc):
         """Merge one thread context's accounting into the aggregate."""

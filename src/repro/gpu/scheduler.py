@@ -1,18 +1,28 @@
-"""Device scheduler: blocks onto SMs, round-robin warp issue, watchdog.
+"""Device scheduler: blocks onto SMs, policy-driven warp issue, watchdog.
 
 The scheduling model mirrors how a Fermi-class GPU executes a kernel grid:
 
 * thread blocks are distributed over the streaming multiprocessors and stay
   resident until all of their warps retire, bounded by the per-SM residency
   limits (``max_blocks_per_sm`` / ``max_warps_per_sm``);
-* each SM issues its resident warps round-robin, one warp step at a time,
-  accumulating the step costs from the warp cost model;
+* each SM issues its resident warps one at a time, the *selection* being
+  delegated to a :class:`~repro.sched.policy.SchedulingPolicy` (fixed round
+  robin by default; seeded-random, greedy-then-oldest and adversarial
+  policies explore other interleavings of the same kernel);
 * kernel time is the maximum SM time (SMs run in parallel).
 
-A global watchdog bounds the total number of warp steps; livelocked or
-deadlocked kernels — the very failure modes the paper's section 2.2
-catalogues — surface as :class:`~repro.gpu.errors.ProgressError` with a
-diagnostic snapshot instead of hanging the host.
+Every launch can capture its issue trace into a
+:class:`~repro.sched.trace.ScheduleTrace` (``record_schedule=True``), from
+which a :class:`~repro.sched.trace.ReplayPolicy` re-executes the identical
+schedule — the record/replay substrate of the interleaving fuzzer
+(:mod:`repro.sched.fuzz`).
+
+A global watchdog bounds the total number of warp steps, checked after
+every issued turn so a runaway kernel overshoots ``max_steps`` by at most
+one turn quota; livelocked or deadlocked kernels — the very failure modes
+the paper's section 2.2 catalogues — surface as
+:class:`~repro.gpu.errors.ProgressError` with a diagnostic snapshot instead
+of hanging the host.
 """
 
 from collections import deque
@@ -22,6 +32,8 @@ from repro.gpu.errors import LaunchError, ProgressError
 from repro.gpu.kernel import KernelResult
 from repro.gpu.memory import GlobalMemory
 from repro.gpu.warp import build_block
+from repro.sched.policy import RoundRobin, make_policy
+from repro.sched.trace import ScheduleTrace
 
 
 class _Sm:
@@ -64,13 +76,19 @@ class Device:
         self.mem = GlobalMemory()
 
     def launch(self, kernel, grid_blocks, block_threads, args=(), attach=None,
-               smem_words=0):
+               smem_words=0, policy=None, record_schedule=None):
         """Run ``kernel`` over ``grid_blocks`` x ``block_threads`` threads.
 
         ``kernel(tc, *args)`` must be a generator function; ``attach(tc)``,
         when given, is called for every thread context before its generator
         is created (TM runtimes use it to install per-thread transaction
         state as ``tc.stm``).
+
+        ``policy`` selects the warp-scheduling policy (anything
+        :func:`~repro.sched.policy.make_policy` accepts); it defaults to
+        the config's ``scheduler`` spec.  With ``record_schedule=True``
+        (default: the config's ``record_schedule``) the issue trace is
+        captured and attached to the result as ``schedule_trace``.
 
         Returns a :class:`KernelResult` with the simulated cycle count, the
         merged phase breakdown and operation counters of all threads.
@@ -95,6 +113,40 @@ class Device:
         for index, block in enumerate(blocks):
             sms[index % config.num_sms].pending.append(block)
 
+        policy = make_policy(config.scheduler if policy is None else policy)
+        if record_schedule is None:
+            record_schedule = config.record_schedule
+        trace = None
+        if record_schedule:
+            spec = policy.spec()
+            trace = ScheduleTrace(policy=spec if isinstance(spec, str) else policy.name)
+
+        if trace is None and type(policy) is RoundRobin:
+            # the common case keeps the tight loop: no per-issue virtual
+            # calls, bit-identical to the pre-policy scheduler
+            total_steps, total_mem_txns = self._issue_round_robin(sms, config)
+        else:
+            policy.reset(config)
+            total_steps, total_mem_txns = self._issue_with_policy(
+                sms, config, policy, trace
+            )
+
+        result = self._collect(kernel, blocks, sms, total_steps, total_mem_txns, config)
+        if trace is not None:
+            trace.meta.update(
+                kernel=result.kernel_name,
+                cycles=result.cycles,
+                steps=result.steps,
+                mem_txns=result.mem_txns,
+                num_sms=config.num_sms,
+                warp_size=config.warp_size,
+                warp_steps_per_turn=config.warp_steps_per_turn,
+            )
+            result.schedule_trace = trace
+        return result
+
+    def _issue_round_robin(self, sms, config):
+        """Fast path: fixed round-robin issue, no recording."""
         total_steps = 0
         total_mem_txns = 0
         max_steps = config.max_steps
@@ -153,22 +205,110 @@ class Device:
                     sm.next_warp = next_warp + 1
                 if warps or sm.pending:
                     add_active(sm)
-            if total_steps > max_steps:
-                raise ProgressError(
-                    "watchdog: %d warp steps without kernel completion "
-                    "(livelock or deadlock; see snapshot)" % total_steps,
-                    steps=total_steps,
-                    snapshot=self._snapshot(sms),
-                )
+                # watchdog, checked per issued turn: a livelocked kernel
+                # overshoots max_steps by at most one turn quota
+                if total_steps > max_steps:
+                    raise ProgressError(
+                        "watchdog: %d warp steps without kernel completion "
+                        "(livelock or deadlock; see snapshot)" % total_steps,
+                        steps=total_steps,
+                        snapshot=self._snapshot(sms),
+                    )
             active_sms = still_active
+        return total_steps, total_mem_txns
 
-        return self._collect(kernel, blocks, sms, total_steps, total_mem_txns, config)
+    def _issue_with_policy(self, sms, config, policy, trace):
+        """Generic path: delegate warp selection to ``policy``.
+
+        Cost-equivalent to :meth:`_issue_round_robin` for the same
+        sequence of decisions — the replay-determinism property the
+        record/replay tests pin.
+        """
+        total_steps = 0
+        total_mem_txns = 0
+        max_steps = config.max_steps
+        record = trace.record if trace is not None else None
+        active_sms = [sm for sm in sms if sm.busy()]
+        while active_sms:
+            still_active = []
+            add_active = still_active.append
+            for sm in active_sms:
+                if sm.pending:
+                    sm.refill(config)
+                warps = sm.resident_warps
+                if not warps:
+                    if sm.pending:
+                        add_active(sm)
+                    continue
+                index = policy.select(sm)
+                if not 0 <= index < len(warps):
+                    raise LaunchError(
+                        "scheduling policy %r selected warp index %r of %d "
+                        "resident warps on SM %d"
+                        % (policy.name, index, len(warps), sm.index)
+                    )
+                warp = warps[index]
+                block = warp.block
+                quota = policy.quota(sm, warp)
+                issued = 0
+                for _turn in range(quota):
+                    cost, finished, mem_txns = warp.step()
+                    sm.cycles += cost
+                    total_mem_txns += mem_txns
+                    total_steps += 1
+                    issued += 1
+                    if finished:
+                        for _ in range(finished):
+                            block.lane_finished()
+                    elif block.barrier_waiting:
+                        block.maybe_release_barrier()
+                    if warp.live == 0:
+                        break
+                if record is not None:
+                    record(sm.index, warp.warp_id, issued)
+                retired = warp.live == 0
+                if retired:
+                    warps.pop(index)
+                    if block.live_lanes == 0:
+                        sm.resident_blocks -= 1
+                policy.issued(sm, index, retired)
+                if warps or sm.pending:
+                    add_active(sm)
+                if total_steps > max_steps:
+                    error = ProgressError(
+                        "watchdog: %d warp steps without kernel completion "
+                        "(livelock or deadlock; see snapshot)" % total_steps,
+                        steps=total_steps,
+                        snapshot=self._snapshot(sms),
+                    )
+                    # keep the partial trace reachable: a schedule that
+                    # *causes* a livelock is itself the repro artifact
+                    error.schedule_trace = trace
+                    raise error
+            active_sms = still_active
+        return total_steps, total_mem_txns
 
     @staticmethod
     def _snapshot(sms):
-        """Diagnostic state attached to a ProgressError."""
+        """Diagnostic state attached to a ProgressError.
+
+        ``live_warps`` names every stuck resident warp; ``sms`` adds the
+        per-SM queue and cycle state so a diagnosis can distinguish
+        "starved in queue" (pending blocks never admitted) from "stuck
+        resident" (admitted warps not retiring).
+        """
         live_warps = []
+        sm_states = []
         for sm in sms:
+            sm_states.append(
+                {
+                    "sm": sm.index,
+                    "pending_blocks": len(sm.pending),
+                    "resident_blocks": sm.resident_blocks,
+                    "resident_warps": len(sm.resident_warps),
+                    "cycles": sm.cycles,
+                }
+            )
             for warp in sm.resident_warps:
                 live_warps.append(
                     {
@@ -178,7 +318,7 @@ class Device:
                         "waiting": dict(warp.waiting),
                     }
                 )
-        return {"live_warps": live_warps}
+        return {"live_warps": live_warps, "sms": sm_states}
 
     @staticmethod
     def _collect(kernel, blocks, sms, total_steps, total_mem_txns, config):

@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any table or figure.
+"""Command-line entry point: regenerate any table or figure, or fuzz.
 
 Usage::
 
@@ -9,18 +9,26 @@ Usage::
     python -m repro.harness fig5 [--quick]
     python -m repro.harness table2 [--quick]
     python -m repro.harness all --quick --jobs 4
+    python -m repro.harness fuzz --workload ra --variant all --seeds 8 \\
+        --policy random --policy adversarial --jobs 4 --out fuzz-artifacts
 
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
 independent runs of each sweep out over N worker processes; results are
 identical to a serial run.  ``--profile`` prints a cProfile summary of the
 driving process after each target (use with ``--jobs 1``).
+
+The ``fuzz`` target runs the schedule-exploration fuzzer
+(:mod:`repro.sched.fuzz`): N seeded schedules per policy template per STM
+variant, every commit history checked by the strict-serializability
+oracle, failing schedules shrunk and written under ``--out``.  Exit code
+is 1 when any schedule produced a violation.
 """
 
 import argparse
 import sys
 import time
 
-from repro.harness import experiments
+from repro.harness import configs, experiments
 from repro.harness.parallel import default_jobs
 from repro.harness.profiling import maybe_profile
 
@@ -34,12 +42,42 @@ TARGETS = {
 }
 
 
+def run_fuzz(args, jobs):
+    """Drive the interleaving fuzzer from the CLI; returns an exit code."""
+    # imported here: the figure targets must not pay for the fuzz stack
+    from repro.stm import STM_VARIANTS
+    from repro.sched.fuzz import fuzz_schedules
+
+    variants = STM_VARIANTS if args.variant == "all" else [args.variant]
+    policies = tuple(args.policy) if args.policy else ("random", "adversarial")
+    params = configs.test_workload_params(args.workload)
+    failed = False
+    for variant in variants:
+        started = time.time()
+        report = fuzz_schedules(
+            args.workload,
+            params,
+            variant,
+            seeds=args.seeds,
+            policies=policies,
+            jobs=jobs,
+            artifact_dir=args.out,
+        )
+        print(report.render())
+        print("[fuzz %s/%s in %.1fs, jobs=%d]"
+              % (args.workload, variant, time.time() - started, jobs))
+        print()
+        failed = failed or report.found_violation
+    return 1 if failed else 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
-        description="Regenerate the paper's evaluation tables and figures.",
+        description="Regenerate the paper's evaluation tables and figures, "
+        "or fuzz schedule interleavings.",
     )
-    parser.add_argument("target", choices=sorted(TARGETS) + ["all"])
+    parser.add_argument("target", choices=sorted(TARGETS) + ["all", "fuzz"])
     parser.add_argument(
         "--quick", action="store_true", help="scaled-down geometry for a fast pass"
     )
@@ -51,10 +89,35 @@ def main(argv=None):
         "--profile", action="store_true",
         help="print a cProfile summary of each target (driving process only)",
     )
+    fuzz_group = parser.add_argument_group("fuzz target")
+    fuzz_group.add_argument(
+        "--workload", default="ra",
+        help="workload to fuzz (default: ra; uses unit-test geometry)",
+    )
+    fuzz_group.add_argument(
+        "--variant", default="all",
+        help="STM variant to fuzz, or 'all' (default)",
+    )
+    fuzz_group.add_argument(
+        "--seeds", type=int, default=8, metavar="N",
+        help="seeds per seeded policy template (default: 8)",
+    )
+    fuzz_group.add_argument(
+        "--policy", action="append", metavar="SPEC",
+        help="policy template(s) to fuzz with; repeatable "
+        "(default: random + adversarial)",
+    )
+    fuzz_group.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="directory for failing-schedule artifacts (JSON traces + ledger)",
+    )
     args = parser.parse_args(argv)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     if jobs < 1:
         parser.error("--jobs must be >= 1")
+
+    if args.target == "fuzz":
+        return run_fuzz(args, jobs)
 
     names = sorted(TARGETS) if args.target == "all" else [args.target]
     for name in names:

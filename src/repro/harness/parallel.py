@@ -157,19 +157,27 @@ def execute_job(spec):
         return JobResult(spec.key, error=traceback.format_exc())
 
 
-def run_jobs(specs, jobs=None):
-    """Execute ``specs``; return :class:`JobResult` objects in spec order.
+def run_jobs(specs, jobs=None, executor=None):
+    """Execute ``specs``; return the executor's results in spec order.
+
+    ``executor`` maps one spec to one result and must never raise; it
+    defaults to :func:`execute_job` (the figure sweeps' worker).  Other
+    sweeps — e.g. the schedule fuzzer's
+    :func:`repro.sched.fuzz.execute_fuzz_job` — pass their own; it must be
+    a module-level callable so it pickles into worker processes.
 
     ``jobs=1`` (or a single spec) runs serially in-process with no
-    executor.  With ``jobs > 1`` the specs fan out over a
+    executor pool.  With ``jobs > 1`` the specs fan out over a
     ``ProcessPoolExecutor``; ordering, and therefore every figure built
     from the results, is identical either way.
     """
     specs = list(specs)
+    if executor is None:
+        executor = execute_job
     if jobs is None:
         jobs = default_jobs()
     if jobs <= 1 or len(specs) <= 1:
-        return [execute_job(spec) for spec in specs]
+        return [executor(spec) for spec in specs]
     # imported lazily: the serial path must work even where process
     # spawning is unavailable (sandboxes, some CI runners)
     from concurrent.futures import ProcessPoolExecutor
@@ -178,4 +186,4 @@ def run_jobs(specs, jobs=None):
     with ProcessPoolExecutor(max_workers=workers) as pool:
         # pool.map preserves input order; chunksize 1 keeps long and short
         # runs from being glued to the same worker
-        return list(pool.map(execute_job, specs, chunksize=1))
+        return list(pool.map(executor, specs, chunksize=1))

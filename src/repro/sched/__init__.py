@@ -1,0 +1,47 @@
+"""Schedule exploration: pluggable warp schedulers, record/replay, fuzzing.
+
+The paper's failure modes — section 2.2 livelock, opacity violations under
+adversarial commit orderings — only manifest under *specific interleavings*.
+This package turns the simulator's single fixed schedule into an explorable
+space:
+
+* :mod:`repro.sched.policy` — the :class:`SchedulingPolicy` interface and
+  the built-in policies (round robin, seeded random, greedy-then-oldest,
+  adversarial lock-holder starvation);
+* :mod:`repro.sched.trace` — :class:`ScheduleTrace` record/replay: any
+  launch's issue trace serializes to JSON and re-executes deterministically
+  through a :class:`ReplayPolicy`;
+* :mod:`repro.sched.explore` — run one (workload, runtime) pair under a
+  chosen schedule with full observability (oracle check, transaction
+  ledger, recorded traces);
+* :mod:`repro.sched.fuzz` — the interleaving fuzzer: N seeded schedules
+  per (workload, runtime) pair, strict-serializability oracle on every
+  history, delta-debugging shrinker producing a minimal failing schedule.
+
+``explore`` and ``fuzz`` pull in the workload and harness layers; import
+them as submodules (``from repro.sched import fuzz``) so that the GPU
+scheduler's dependency on :mod:`repro.sched.policy` stays feather-light.
+"""
+
+from repro.sched.policy import (
+    POLICIES,
+    Adversarial,
+    GreedyThenOldest,
+    RoundRobin,
+    SchedulingPolicy,
+    SeededRandom,
+    make_policy,
+)
+from repro.sched.trace import ReplayPolicy, ScheduleTrace
+
+__all__ = [
+    "POLICIES",
+    "Adversarial",
+    "GreedyThenOldest",
+    "ReplayPolicy",
+    "RoundRobin",
+    "SchedulingPolicy",
+    "ScheduleTrace",
+    "SeededRandom",
+    "make_policy",
+]

@@ -1,0 +1,234 @@
+"""Run one (workload, runtime) pair under a chosen schedule, observably.
+
+This is the single-run engine beneath the interleaving fuzzer: it executes
+a workload's kernels under an arbitrary scheduling policy with schedule
+recording, full-history capture for the strict-serializability oracle
+(:mod:`repro.stm.oracle`), and a :class:`~repro.stm.trace.TxTracer`
+commit/abort ledger — everything a failing interleaving needs to be
+diagnosed and replayed from artifacts alone.
+
+Unlike :func:`repro.harness.runner.run_workload` (the figures' runner,
+which raises on any anomaly), this driver *captures* anomalies: an oracle
+violation or a watchdog trip becomes a structured :class:`ScheduleOutcome`
+carrying the recorded schedule, so the fuzzer and the shrinker can act on
+it.
+"""
+
+from repro.gpu import Device
+from repro.gpu.config import GpuConfig
+from repro.gpu.errors import ProgressError
+from repro.sched.policy import make_policy
+from repro.stm import StmConfig, make_runtime
+from repro.stm.oracle import SerializabilityViolation, check_history
+from repro.stm.trace import TxTracer
+from repro.workloads import make_workload
+
+
+def explore_gpu(max_steps=2_000_000, **overrides):
+    """Small, strict geometry used for schedule exploration.
+
+    Few warps per SM keeps every interleaving decision consequential (a
+    14-SM, 48-warp device dilutes any single decision's effect), and the
+    tight watchdog turns schedule-induced livelock into a fast, structured
+    failure instead of a long spin.
+    """
+    params = dict(
+        warp_size=4,
+        num_sms=2,
+        max_steps=max_steps,
+        strict_lockstep=True,
+        check_bounds=True,
+    )
+    params.update(overrides)
+    return GpuConfig(**params)
+
+
+class ScheduleOutcome:
+    """Everything observed from one scheduled run (plain, picklable data).
+
+    ``failure`` is ``None`` for a clean run, ``"serializability"`` when
+    :func:`check_history` rejected the commit history, or ``"progress"``
+    when the watchdog tripped.  ``traces`` holds one recorded-schedule dict
+    per kernel launch (the last one possibly partial on a progress
+    failure).
+    """
+
+    __slots__ = (
+        "workload",
+        "variant",
+        "policy",
+        "failure",
+        "detail",
+        "traces",
+        "cycles",
+        "steps",
+        "commits",
+        "aborts",
+        "checked",
+        "ledger_summary",
+        "ledger_rows",
+        "final_words",
+    )
+
+    def __init__(self, workload, variant, policy):
+        self.workload = workload
+        self.variant = variant
+        self.policy = policy
+        self.failure = None
+        self.detail = None
+        self.traces = []
+        self.cycles = 0
+        self.steps = 0
+        self.commits = 0
+        self.aborts = 0
+        self.checked = 0
+        self.ledger_summary = ""
+        self.ledger_rows = []
+        self.final_words = None
+
+    @property
+    def ok(self):
+        return self.failure is None
+
+    def decisions(self):
+        """All recorded decisions, flattened to (launch, sm, warp, steps)."""
+        flat = []
+        for launch_index, trace in enumerate(self.traces):
+            for sm, warp_id, steps in trace["decisions"]:
+                flat.append((launch_index, sm, warp_id, steps))
+        return flat
+
+    def __repr__(self):
+        status = "ok" if self.ok else "FAIL[%s]" % self.failure
+        return "ScheduleOutcome(%s/%s policy=%r %s commits=%d aborts=%d)" % (
+            self.workload,
+            self.variant,
+            self.policy,
+            status,
+            self.commits,
+            self.aborts,
+        )
+
+
+def run_under_schedule(
+    workload_name,
+    params,
+    variant,
+    policy="rr",
+    *,
+    num_locks=16,
+    stm_overrides=None,
+    gpu=None,
+    gpu_overrides=None,
+    record=True,
+    capture_memory=False,
+    ledger_capacity=4096,
+    runtime_factory=None,
+):
+    """Execute ``workload_name`` under ``variant`` with a given schedule.
+
+    ``policy`` is anything :func:`make_policy` accepts, or a *list* of
+    such specs — one per kernel launch of the workload — which is how
+    recorded traces of a multi-kernel workload are replayed.  A single
+    spec is resolved once and the policy instance is shared across the
+    workload's launches (so e.g. a seeded-random stream keeps advancing).
+
+    ``runtime_factory(variant, device, stm_config)`` overrides
+    :func:`repro.stm.make_runtime`; the fuzzer's efficacy tests use it to
+    inject deliberately broken runtimes.  ``capture_memory=True`` snapshots
+    the final memory image into ``final_words`` (the replay-determinism
+    tests compare it).
+
+    Returns a :class:`ScheduleOutcome`; never raises for the failure modes
+    the fuzzer hunts (oracle violations, watchdog trips).
+    """
+    gpu_config = gpu or explore_gpu()
+    if gpu_overrides:
+        for attr, value in gpu_overrides.items():
+            if not hasattr(gpu_config, attr):
+                raise ValueError("unknown GpuConfig attribute %r" % attr)
+            setattr(gpu_config, attr, value)
+
+    workload = make_workload(workload_name, **params)
+    device = Device(gpu_config)
+    workload.setup(device)
+
+    overrides = dict(stm_overrides or {})
+    overrides.setdefault("num_locks", num_locks)
+    overrides.setdefault("shared_data_size", workload.shared_data_size)
+    overrides["record_history"] = True
+    stm_config = StmConfig(**overrides)
+    factory = runtime_factory or make_runtime
+    runtime = factory(variant, device, stm_config)
+    tracer = TxTracer(capacity=ledger_capacity)
+    runtime.tracer = tracer
+
+    specs = list(workload.kernels())
+    if isinstance(policy, (list, tuple)):
+        policies = [make_policy(p) for p in policy]
+        if len(policies) != len(specs):
+            raise ValueError(
+                "got %d per-launch policies for %d kernel launches"
+                % (len(policies), len(specs))
+            )
+        policy_label = [getattr(p, "name", "?") for p in policies]
+    else:
+        shared = make_policy(policy)
+        policies = [shared] * len(specs)
+        spec_repr = shared.spec()
+        policy_label = spec_repr if isinstance(spec_repr, str) else shared.name
+
+    outcome = ScheduleOutcome(workload_name, variant, policy_label)
+    initial = list(device.mem.words)
+    try:
+        for spec, launch_policy in zip(specs, policies):
+            kernel_result = device.launch(
+                spec.kernel,
+                spec.grid,
+                spec.block,
+                args=spec.args,
+                attach=runtime.attach,
+                policy=launch_policy,
+                record_schedule=record,
+            )
+            outcome.cycles += kernel_result.cycles
+            outcome.steps += kernel_result.steps
+            if kernel_result.schedule_trace is not None:
+                outcome.traces.append(kernel_result.schedule_trace.as_dict())
+    except ProgressError as exc:
+        outcome.failure = "progress"
+        outcome.detail = str(exc)
+        outcome.steps += exc.steps
+        partial = getattr(exc, "schedule_trace", None)
+        if partial is not None:
+            outcome.traces.append(partial.as_dict())
+    else:
+        try:
+            outcome.checked = check_history(runtime.history, initial, device.mem)
+        except SerializabilityViolation as exc:
+            outcome.failure = "serializability"
+            outcome.detail = str(exc)
+
+    outcome.commits = runtime.stats["commits"]
+    outcome.aborts = runtime.stats["aborts"]
+    outcome.ledger_summary = tracer.summary()
+    outcome.ledger_rows = [event.as_row() for event in tracer.events]
+    if capture_memory:
+        outcome.final_words = list(device.mem.words)
+    return outcome
+
+
+def replay_outcome(outcome, workload_name, params, variant, **kwargs):
+    """Re-execute the exact schedule an outcome recorded.
+
+    Builds one :class:`~repro.sched.trace.ReplayPolicy` per recorded
+    launch and runs the workload again; with the same workload parameters
+    the replay is deterministic (identical cycles, steps, memory image).
+    """
+    policies = [
+        {"type": "replay", "decisions": trace["decisions"]}
+        for trace in outcome.traces
+    ]
+    return run_under_schedule(
+        workload_name, params, variant, policy=policies, **kwargs
+    )

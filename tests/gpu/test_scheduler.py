@@ -128,6 +128,96 @@ class TestWatchdog:
         assert state["live_lanes"] == 2
         assert state["waiting"] == {0: "rendezvous"}
 
+    def test_overshoot_bounded_by_one_turn_quota(self):
+        """The per-issue watchdog check bounds overshoot to one turn quota,
+        whatever ``warp_steps_per_turn`` is — the regression the old
+        per-sweep check failed (a wide device could run a whole extra sweep
+        past the limit before noticing)."""
+        max_steps = 1000
+        for turn in (1, 64):
+            config = GpuConfig(
+                warp_size=2,
+                num_sms=2,
+                warp_steps_per_turn=turn,
+                max_steps=max_steps,
+                strict_lockstep=True,
+                check_bounds=True,
+            )
+            dev = Device(config)
+
+            def kernel(tc):
+                while True:
+                    tc.work(1)
+                    yield
+
+            with pytest.raises(ProgressError) as exc:
+                dev.launch(kernel, 4, 2)
+            assert max_steps < exc.value.steps <= max_steps + turn, turn
+
+    def test_overshoot_bounded_on_the_policy_path_too(self):
+        max_steps = 1000
+        dev = Device(small_config(warp_size=2, max_steps=max_steps))
+
+        def kernel(tc):
+            while True:
+                tc.work(1)
+                yield
+
+        with pytest.raises(ProgressError) as exc:
+            dev.launch(kernel, 4, 2, policy="random:0")
+        # SeededRandom quotas are bounded by its max_turn (default 4)
+        assert max_steps < exc.value.steps <= max_steps + 4
+
+    def test_snapshot_reports_per_sm_state(self):
+        """The snapshot's ``sms`` section distinguishes blocks starved in
+        the queue from admitted warps that are stuck resident."""
+        config = GpuConfig(
+            warp_size=2,
+            num_sms=1,
+            max_blocks_per_sm=1,
+            max_warps_per_sm=1,
+            max_steps=500,
+            strict_lockstep=True,
+            check_bounds=True,
+        )
+        dev = Device(config)
+
+        def kernel(tc):
+            while True:
+                tc.work(1)
+                yield
+
+        with pytest.raises(ProgressError) as exc:
+            dev.launch(kernel, 3, 2)
+        sms = exc.value.snapshot["sms"]
+        assert len(sms) == 1
+        state = sms[0]
+        assert state["sm"] == 0
+        assert state["resident_blocks"] == 1
+        assert state["resident_warps"] == 1
+        assert state["pending_blocks"] == 2  # starved in queue, never admitted
+        assert state["cycles"] > 0
+
+    def test_snapshot_sms_cover_idle_sms_too(self):
+        """Every SM appears in the snapshot, including ones that drained."""
+        dev = Device(small_config(warp_size=2, num_sms=2, max_steps=500))
+
+        def kernel(tc):
+            if tc.block.index == 1:  # the block on SM 1 finishes immediately
+                yield
+                return
+            while True:
+                tc.work(1)
+                yield
+
+        with pytest.raises(ProgressError) as exc:
+            dev.launch(kernel, 2, 2)
+        sms = exc.value.snapshot["sms"]
+        assert [s["sm"] for s in sms] == [0, 1]
+        assert sms[0]["resident_warps"] == 1
+        assert sms[1]["resident_warps"] == 0
+        assert sms[1]["pending_blocks"] == 0
+
     def test_snapshot_lists_every_live_warp(self):
         """All still-resident warps appear in the snapshot, across SMs."""
         dev = Device(small_config(warp_size=2, num_sms=2, max_steps=500))

@@ -19,3 +19,24 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Figure 5" in out
         assert "regenerated" in out
+
+    def test_fuzz_clean_variant_exits_zero(self, capsys):
+        assert main([
+            "fuzz", "--workload", "ra", "--variant", "hv-sorting",
+            "--seeds", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz ra/hv-sorting" in out
+        assert "0 failing" in out
+
+    def test_fuzz_accepts_explicit_policies(self, capsys):
+        assert main([
+            "fuzz", "--workload", "ra", "--variant", "cgl",
+            "--seeds", "1", "--policy", "rr", "--policy", "greedy:4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 schedules" in out
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--jobs", "0"])

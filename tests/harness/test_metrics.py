@@ -16,6 +16,13 @@ class TestSpeedup:
         with pytest.raises(ValueError):
             speedup(100, 0)
 
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(100, -5)
+
+    def test_equal_is_unity(self):
+        assert speedup(73, 73) == 1.0
+
 
 class TestGeometricMean:
     def test_single(self):
@@ -32,6 +39,18 @@ class TestGeometricMean:
         with pytest.raises(ValueError):
             geometric_mean([1.0, 0.0])
 
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([2.0, -1.0])
+
+    def test_generator_input_consumed_once(self):
+        assert abs(geometric_mean(x for x in (2.0, 8.0)) - 4.0) < 1e-12
+
+    def test_order_invariant(self):
+        assert abs(
+            geometric_mean([1.0, 2.0, 4.0]) - geometric_mean([4.0, 1.0, 2.0])
+        ) < 1e-12
+
 
 class TestCrossover:
     def test_found(self):
@@ -42,3 +61,22 @@ class TestCrossover:
 
     def test_none_values_skipped(self):
         assert crossover_index([None, 5], [1, 3]) == 1
+
+    def test_ties_are_not_crossings(self):
+        # overtaking is strict: equal points never count as a crossover
+        assert crossover_index([3, 3, 3], [3, 3, 3]) is None
+        assert crossover_index([1, 3, 4], [2, 3, 3]) == 2
+
+    def test_empty_series(self):
+        assert crossover_index([], []) is None
+        assert crossover_index([], [1, 2]) is None
+
+    def test_unequal_lengths_compare_the_overlap_only(self):
+        # the crossing at index 3 of series_a is beyond series_b's end
+        assert crossover_index([1, 1, 1, 9], [2, 2, 2]) is None
+
+    def test_none_in_second_series_skipped(self):
+        assert crossover_index([5, 5], [None, 1]) == 1
+
+    def test_first_index_eligible(self):
+        assert crossover_index([4, 1], [2, 2]) == 0

@@ -92,3 +92,26 @@ class TestRunJobs:
         result = execute_job(_ra_spec("bad", gpu_overrides=dict(nonsense=1)))
         assert result.failed
         assert "nonsense" in result.error
+
+
+def _tag_executor(spec):
+    """Module-level so it pickles into worker processes."""
+    return ("tagged", spec.key)
+
+
+class TestCustomExecutor:
+    def test_serial_path_uses_custom_executor(self):
+        specs = [_ra_spec("a"), _ra_spec("b")]
+        assert run_jobs(specs, jobs=1, executor=_tag_executor) == [
+            ("tagged", "a"),
+            ("tagged", "b"),
+        ]
+
+    @pytest.mark.slow
+    def test_pool_path_uses_custom_executor(self):
+        specs = [_ra_spec(k) for k in ("a", "b", "c")]
+        assert run_jobs(specs, jobs=2, executor=_tag_executor) == [
+            ("tagged", "a"),
+            ("tagged", "b"),
+            ("tagged", "c"),
+        ]

@@ -1,0 +1,188 @@
+"""Schedule record/replay: serialization and the determinism property."""
+
+import os
+
+import pytest
+
+from repro.gpu import Device
+from repro.gpu.config import small_config
+from repro.sched.explore import replay_outcome, run_under_schedule
+from repro.sched.trace import ReplayPolicy, ScheduleTrace
+from repro.harness import configs
+
+#: (policy spec, STM variant) grid for the replay-determinism property:
+#: seeded and deterministic policies crossed with lock-based, hierarchical
+#: and serialized runtimes.
+PROPERTY_GRID = [
+    ("random:1", "hv-sorting"),
+    ("random:2", "tbv-sorting"),
+    ("random:3", "cgl"),
+    ("adversarial:1", "hv-sorting"),
+    ("adversarial:2", "vbv"),
+    ("greedy:4", "hv-sorting"),
+    ("rr", "optimized"),
+]
+
+
+def spin_kernel(tc, rounds):
+    for _ in range(rounds):
+        tc.work(1)
+        yield
+
+
+class TestScheduleTrace:
+    def test_record_and_totals(self):
+        trace = ScheduleTrace(policy="rr")
+        trace.record(0, 3, 2)
+        trace.record(1, 0, 1)
+        assert len(trace) == 2
+        assert trace.total_steps() == 3
+        assert trace.decisions == [[0, 3, 2], [1, 0, 1]]
+
+    def test_dict_round_trip(self):
+        trace = ScheduleTrace(
+            policy="random:1:4", decisions=[[0, 1, 2]], meta={"kernel": "k"}
+        )
+        clone = ScheduleTrace.from_dict(trace.as_dict())
+        assert clone == trace
+        assert clone.meta == trace.meta
+
+    def test_json_string_round_trip(self):
+        trace = ScheduleTrace(policy="rr", decisions=[[0, 0, 1], [1, 2, 3]])
+        clone = ScheduleTrace.from_json(trace.to_json())
+        assert clone == trace
+
+    def test_json_file_round_trip(self, tmp_path):
+        trace = ScheduleTrace(policy="adversarial:2", decisions=[[1, 1, 1]])
+        path = os.path.join(str(tmp_path), "trace.json")
+        trace.to_json(path, indent=2)
+        assert ScheduleTrace.from_json(path) == trace
+
+    def test_as_dict_is_a_replay_spec(self):
+        trace = ScheduleTrace(policy="rr", decisions=[[0, 0, 1]])
+        payload = trace.as_dict()
+        assert payload["type"] == "replay"
+        assert payload["version"] == ScheduleTrace.VERSION
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            ScheduleTrace.from_dict({"version": 99, "decisions": []})
+
+    def test_decisions_copied_not_aliased(self):
+        decisions = [[0, 0, 1]]
+        trace = ScheduleTrace(decisions=decisions)
+        decisions[0][2] = 99
+        assert trace.decisions == [[0, 0, 1]]
+
+
+class _FakeWarp:
+    def __init__(self, warp_id):
+        self.warp_id = warp_id
+
+
+class _FakeSm:
+    def __init__(self, warps, index=0):
+        self.index = index
+        self.resident_warps = list(warps)
+        self.next_warp = 0
+
+
+class TestReplayPolicy:
+    def setup_method(self):
+        self.config = small_config()
+
+    def test_replays_decisions_in_order(self):
+        policy = ReplayPolicy([[0, 7, 2], [0, 5, 1]])
+        policy.reset(self.config)
+        sm = _FakeSm([_FakeWarp(5), _FakeWarp(7)])
+        assert policy.select(sm) == 1  # warp_id 7 first
+        assert policy.quota(sm, None) == 2
+        assert policy.select(sm) == 0  # then warp_id 5
+        assert policy.quota(sm, None) == 1
+
+    def test_stale_decisions_skipped(self):
+        """Decisions naming retired warps — the shrinker's edits — are
+        skipped rather than crashing the replay."""
+        policy = ReplayPolicy([[0, 99, 4], [0, 5, 1]])
+        policy.reset(self.config)
+        sm = _FakeSm([_FakeWarp(5)])
+        assert policy.select(sm) == 0
+        assert policy.quota(sm, None) == 1
+
+    def test_exhausted_stream_falls_back_to_round_robin(self):
+        policy = ReplayPolicy([])
+        policy.reset(self.config)
+        sm = _FakeSm([_FakeWarp(0), _FakeWarp(1)])
+        assert policy.select(sm) == 0
+        assert policy.quota(sm, None) == self.config.warp_steps_per_turn
+        policy.issued(sm, 0, retired=False)
+        assert policy.select(sm) == 1
+
+    def test_streams_are_per_sm(self):
+        policy = ReplayPolicy([[1, 8, 3], [0, 4, 2]])
+        policy.reset(self.config)
+        sm0 = _FakeSm([_FakeWarp(4)], index=0)
+        sm1 = _FakeSm([_FakeWarp(8)], index=1)
+        assert policy.select(sm1) == 0
+        assert policy.quota(sm1, None) == 3
+        assert policy.select(sm0) == 0
+        assert policy.quota(sm0, None) == 2
+
+
+class TestDeviceReplay:
+    def test_trace_replays_to_identical_result(self):
+        recorded = Device(small_config()).launch(
+            spin_kernel, 4, 8, args=(5,), policy="random:9", record_schedule=True
+        )
+        trace = recorded.schedule_trace
+        replayed = Device(small_config()).launch(
+            spin_kernel, 4, 8, args=(5,), policy=trace.replay_policy()
+        )
+        assert replayed.cycles == recorded.cycles
+        assert replayed.steps == recorded.steps
+
+    def test_replay_from_json_artifact(self, tmp_path):
+        recorded = Device(small_config()).launch(
+            spin_kernel, 4, 8, args=(5,), policy="adversarial:4",
+            record_schedule=True,
+        )
+        path = os.path.join(str(tmp_path), "sched.json")
+        recorded.schedule_trace.to_json(path)
+        loaded = ScheduleTrace.from_json(path)
+        replayed = Device(small_config()).launch(
+            spin_kernel, 4, 8, args=(5,), policy=loaded.replay_policy()
+        )
+        assert replayed.cycles == recorded.cycles
+
+
+class TestReplayDeterminismProperty:
+    """The tentpole property: record once, replay identically.
+
+    For every (policy, runtime) pair the replayed run must reproduce the
+    recorded run's cycles, steps and final memory image exactly.
+    """
+
+    @pytest.mark.parametrize("policy,variant", PROPERTY_GRID)
+    def test_replay_reproduces_run(self, policy, variant):
+        params = configs.test_workload_params("ra")
+        outcome = run_under_schedule(
+            "ra", params, variant, policy=policy, capture_memory=True
+        )
+        assert outcome.ok, outcome.detail
+        assert outcome.traces, "recording must capture every launch"
+        replay = replay_outcome(outcome, "ra", params, variant, capture_memory=True)
+        assert replay.ok, replay.detail
+        assert replay.cycles == outcome.cycles
+        assert replay.steps == outcome.steps
+        assert replay.final_words == outcome.final_words
+        assert replay.commits == outcome.commits
+
+    def test_distinct_seeds_explore_distinct_schedules(self):
+        params = configs.test_workload_params("ra")
+        traces = [
+            run_under_schedule(
+                "ra", params, "hv-sorting", policy="random:%d" % seed
+            ).traces[0]["decisions"]
+            for seed in (1, 2)
+        ]
+        assert traces[0] != traces[1]

@@ -62,6 +62,44 @@ class TestTracer:
         assert lines[0] == TxTracer.CSV_HEADER
         assert len(lines) == rows + 1
 
+    def test_empty_tracer_edges(self):
+        tracer = TxTracer()
+        assert tracer.commits() == []
+        assert tracer.aborts() == []
+        assert tracer.abort_reasons() == {}
+        assert tracer.hottest_threads() == []
+        assert "0 commits, 0 aborts" in tracer.summary()
+
+    def test_empty_tracer_csv_is_header_only(self, tmp_path):
+        tracer = TxTracer()
+        path = os.path.join(str(tmp_path), "empty.csv")
+        assert tracer.to_csv(path) == 0
+        with open(path) as handle:
+            assert handle.read().strip() == TxTracer.CSV_HEADER
+
+    def test_zero_capacity_drops_everything_but_keeps_counting(self):
+        _runtime, tracer = traced_run(capacity=0)
+        assert tracer.events == []
+        assert tracer.dropped > 0
+        assert "dropped" in tracer.summary()
+
+    def test_aborts_filter_by_reason(self):
+        runtime, tracer = traced_run()
+        for reason in tracer.abort_reasons():
+            filtered = tracer.aborts(reason)
+            assert filtered
+            assert all(e.reason == reason for e in filtered)
+        assert tracer.aborts("no-such-reason") == []
+
+    def test_hottest_threads_top_bounds_result(self):
+        _runtime, tracer = traced_run()
+        assert len(tracer.hottest_threads(top=1)) <= 1
+
+    def test_as_row_substitutes_empty_strings(self):
+        event = TxEvent(1, 2, "abort", None, 3, 4, None)
+        row = event.as_row()
+        assert row[3] == "" and row[6] == ""
+
     def test_event_repr(self):
         class FakeTc:
             tid = 3
