@@ -81,6 +81,14 @@ class GlobalMemory:
         """Copy ``size`` words starting at ``base`` (used by verifiers)."""
         return list(self.words[base : base + size])
 
+    def stats_summary(self):
+        """Layout summary for the telemetry layer (gauge material)."""
+        return {
+            "words": len(self.words),
+            "regions": len(self.regions),
+            "region_words": {region.name: region.size for region in self.regions},
+        }
+
     # ------------------------------------------------------------------
     # Raw accesses (cost-free; ThreadCtx wraps these with cost accounting)
     # ------------------------------------------------------------------

@@ -69,11 +69,20 @@ class _Sm:
 
 
 class Device:
-    """A simulated GPU: global memory plus a kernel launcher."""
+    """A simulated GPU: global memory plus a kernel launcher.
 
-    def __init__(self, config=None):
+    ``telemetry`` attaches a :class:`~repro.telemetry.session.Telemetry`
+    session: every launch then reports per-SM/kernel/memory metrics into
+    its registry and, when the session records a timeline, routes thread
+    construction through the telemetry thread context so per-cycle phase
+    slices land on the trace.  With ``telemetry=None`` (the default) no
+    telemetry code runs anywhere on the issue or accounting hot paths.
+    """
+
+    def __init__(self, config=None, telemetry=None):
         self.config = config or GpuConfig()
         self.mem = GlobalMemory()
+        self.telemetry = telemetry
 
     def launch(self, kernel, grid_blocks, block_threads, args=(), attach=None,
                smem_words=0, policy=None, record_schedule=None):
@@ -99,13 +108,25 @@ class Device:
                 % (grid_blocks, block_threads)
             )
         config = self.config
+        tel = self.telemetry
+        ctx_factory = None
+        if tel is not None:
+            tel.begin_launch(getattr(kernel, "__name__", str(kernel)), config.num_sms)
+            if tel.timeline is not None:
+                # imported lazily: the simulator core stays import-light for
+                # the (default) untelemetered runs
+                from repro.telemetry.ctx import TelemetryThreadCtx
+
+                def ctx_factory(tid, lane_id, warp, block, mem, cfg):
+                    return TelemetryThreadCtx(tid, lane_id, warp, block, mem, cfg, tel)
+
         blocks = []
         for index in range(grid_blocks):
             first_tid = index * block_threads
             blocks.append(
                 build_block(
                     index, block_threads, first_tid, self.mem, config, kernel,
-                    args, attach, smem_words=smem_words
+                    args, attach, smem_words=smem_words, ctx_factory=ctx_factory
                 )
             )
 
@@ -121,17 +142,22 @@ class Device:
             spec = policy.spec()
             trace = ScheduleTrace(policy=spec if isinstance(spec, str) else policy.name)
 
-        if trace is None and type(policy) is RoundRobin:
+        if trace is None and tel is None and type(policy) is RoundRobin:
             # the common case keeps the tight loop: no per-issue virtual
             # calls, bit-identical to the pre-policy scheduler
             total_steps, total_mem_txns = self._issue_round_robin(sms, config)
         else:
+            # telemetry-enabled launches take the generic loop, which is
+            # cost-equivalent to the fast path under RoundRobin (pinned by
+            # the golden-cycle and replay-determinism tests)
             policy.reset(config)
             total_steps, total_mem_txns = self._issue_with_policy(
-                sms, config, policy, trace
+                sms, config, policy, trace, tel
             )
 
         result = self._collect(kernel, blocks, sms, total_steps, total_mem_txns, config)
+        if tel is not None:
+            tel.publish_kernel(result, sms)
         if trace is not None:
             trace.meta.update(
                 kernel=result.kernel_name,
@@ -217,12 +243,13 @@ class Device:
             active_sms = still_active
         return total_steps, total_mem_txns
 
-    def _issue_with_policy(self, sms, config, policy, trace):
+    def _issue_with_policy(self, sms, config, policy, trace, tel=None):
         """Generic path: delegate warp selection to ``policy``.
 
         Cost-equivalent to :meth:`_issue_round_robin` for the same
         sequence of decisions — the replay-determinism property the
-        record/replay tests pin.
+        record/replay tests pin.  ``tel`` (a telemetry session) observes
+        every issued turn; it never influences scheduling decisions.
         """
         total_steps = 0
         total_mem_txns = 0
@@ -251,6 +278,7 @@ class Device:
                 block = warp.block
                 quota = policy.quota(sm, warp)
                 issued = 0
+                turn_start = sm.cycles if tel is not None else 0
                 for _turn in range(quota):
                     cost, finished, mem_txns = warp.step()
                     sm.cycles += cost
@@ -266,6 +294,11 @@ class Device:
                         break
                 if record is not None:
                     record(sm.index, warp.warp_id, issued)
+                if tel is not None:
+                    tel.record_turn(
+                        sm.index, warp.warp_id, turn_start,
+                        sm.cycles - turn_start, issued,
+                    )
                 retired = warp.live == 0
                 if retired:
                     warps.pop(index)
@@ -275,11 +308,14 @@ class Device:
                 if warps or sm.pending:
                     add_active(sm)
                 if total_steps > max_steps:
+                    snapshot = self._snapshot(sms)
+                    if tel is not None:
+                        tel.publish_snapshot(snapshot)
                     error = ProgressError(
                         "watchdog: %d warp steps without kernel completion "
                         "(livelock or deadlock; see snapshot)" % total_steps,
                         steps=total_steps,
-                        snapshot=self._snapshot(sms),
+                        snapshot=snapshot,
                     )
                     # keep the partial trace reachable: a schedule that
                     # *causes* a livelock is itself the repro artifact

@@ -304,8 +304,15 @@ class BlockState:
 
 
 def build_block(index, block_threads, first_tid, mem, config, kernel, args, attach,
-                smem_words=0):
-    """Construct the warps and lane generators of one thread block."""
+                smem_words=0, ctx_factory=None):
+    """Construct the warps and lane generators of one thread block.
+
+    ``ctx_factory`` substitutes the thread-context class (same constructor
+    signature as :class:`ThreadCtx`); the telemetry layer injects its
+    charge-mirroring subclass this way instead of instrumenting the
+    ThreadCtx hot paths.
+    """
+    make_ctx = ThreadCtx if ctx_factory is None else ctx_factory
     block = BlockState(index, block_threads, smem_words)
     warp_size = config.warp_size
     num_warps = (block_threads + warp_size - 1) // warp_size
@@ -314,7 +321,7 @@ def build_block(index, block_threads, first_tid, mem, config, kernel, args, atta
         lanes_in_warp = min(warp_size, block_threads - warp_idx * warp_size)
         for lane_id in range(lanes_in_warp):
             tid = first_tid + warp_idx * warp_size + lane_id
-            tc = ThreadCtx(tid, lane_id, warp, block, mem, config)
+            tc = make_ctx(tid, lane_id, warp, block, mem, config)
             if attach is not None:
                 attach(tc)
             gen = kernel(tc, *args)

@@ -1,21 +1,36 @@
-"""Command-line entry point: regenerate any table or figure, or fuzz.
+"""Command-line entry point: regenerate any table or figure, trace, or fuzz.
 
 Usage::
 
     python -m repro.harness table1 [--quick]
-    python -m repro.harness fig2 [--quick] [--jobs N]
+    python -m repro.harness fig2 [--quick] [--jobs N] [--metrics out.json]
     python -m repro.harness fig3 [--quick]
     python -m repro.harness fig4 [--quick]
     python -m repro.harness fig5 [--quick]
     python -m repro.harness table2 [--quick]
     python -m repro.harness all --quick --jobs 4
+    python -m repro.harness trace fig5 --quick --out trace-artifacts
+    python -m repro.harness trace km --variant hv-sorting --quick
     python -m repro.harness fuzz --workload ra --variant all --seeds 8 \\
         --policy random --policy adversarial --jobs 4 --out fuzz-artifacts
 
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
 independent runs of each sweep out over N worker processes; results are
 identical to a serial run.  ``--profile`` prints a cProfile summary of the
-driving process after each target (use with ``--jobs 1``).
+driving process after each target (use with ``--jobs 1``);
+``--profile-out FILE`` dumps the raw profile for ``pstats``/snakeviz.
+
+``--metrics FILE`` writes the run's merged telemetry registry (counters,
+gauges, histograms; see :mod:`repro.telemetry`) as JSON.  On figure/table
+targets it turns on per-worker telemetry and aggregates across processes.
+
+The ``trace`` target records simulated-time Chrome-trace timelines
+(open them in ``chrome://tracing`` or https://ui.perfetto.dev).  Its
+``experiment`` argument is either a figure/table name — every run of that
+sweep gets its own ``<out>/<key>.trace.json`` — or a single workload name
+(``ra ht eb lb gn km``), traced under one variant (``--variant``,
+default ``optimized``).  A merged ``metrics.json`` lands next to the
+traces; see ``docs/observability.md``.
 
 The ``fuzz`` target runs the schedule-exploration fuzzer
 (:mod:`repro.sched.fuzz`): N seeded schedules per policy template per STM
@@ -25,6 +40,7 @@ is 1 when any schedule produced a violation.
 """
 
 import argparse
+import os
 import sys
 import time
 
@@ -41,6 +57,9 @@ TARGETS = {
     "table2": experiments.table2,
 }
 
+#: workload names the ``trace`` target accepts for single-run timelines
+TRACE_WORKLOADS = ("ra", "ht", "eb", "lb", "gn", "km")
+
 
 def run_fuzz(args, jobs):
     """Drive the interleaving fuzzer from the CLI; returns an exit code."""
@@ -52,6 +71,7 @@ def run_fuzz(args, jobs):
     policies = tuple(args.policy) if args.policy else ("random", "adversarial")
     params = configs.test_workload_params(args.workload)
     failed = False
+    reports = []
     for variant in variants:
         started = time.time()
         report = fuzz_schedules(
@@ -67,17 +87,102 @@ def run_fuzz(args, jobs):
         print("[fuzz %s/%s in %.1fs, jobs=%d]"
               % (args.workload, variant, time.time() - started, jobs))
         print()
+        reports.append(report)
         failed = failed or report.found_violation
+    if args.metrics:
+        from repro.telemetry import MetricRegistry, metric_name
+
+        registry = MetricRegistry()
+        for report in reports:
+            prefix = metric_name("fuzz", report.workload, report.variant)
+            registry.add(metric_name(prefix, "schedules"), len(report.outcomes))
+            registry.add(metric_name(prefix, "failures"), len(report.failures))
+            registry.add(metric_name(prefix, "commits"),
+                         sum(o.commits for o in report.outcomes))
+        registry.write_json(args.metrics)
+        print("[metrics -> %s]" % args.metrics)
     return 1 if failed else 0
+
+
+def _trace_workload(args, out_dir):
+    """Trace one workload/variant pair; returns the telemetry session."""
+    from repro.harness.runner import run_workload
+    from repro.telemetry import Telemetry
+    from repro.workloads import make_workload
+
+    variant = "optimized" if args.variant == "all" else args.variant
+    params = (configs.test_workload_params(args.experiment) if args.quick
+              else configs.bench_workload_params(args.experiment))
+    telemetry = Telemetry(
+        timeline=True,
+        meta={"workload": args.experiment, "variant": variant},
+    )
+    run_workload(
+        make_workload(args.experiment, **params),
+        variant,
+        configs.bench_gpu(),
+        stm_overrides=configs.egpgv_capacity(),
+        telemetry=telemetry,
+        allow_crash=True,
+    )
+    trace_path = os.path.join(
+        out_dir, "%s-%s.trace.json" % (args.experiment, variant)
+    )
+    telemetry.write_timeline(trace_path)
+    print("[trace -> %s]" % trace_path)
+    return telemetry
+
+
+def run_trace(args, jobs, parser):
+    """Record Chrome-trace timelines + metrics; returns an exit code."""
+    from repro.telemetry import MetricRegistry
+
+    if not args.experiment:
+        parser.error(
+            "trace needs an experiment: one of %s, or a workload (%s)"
+            % (", ".join(sorted(TARGETS)), " ".join(TRACE_WORKLOADS))
+        )
+    out_dir = args.out or "trace-artifacts"
+    os.makedirs(out_dir, exist_ok=True)
+    metrics_path = args.metrics or os.path.join(out_dir, "metrics.json")
+
+    started = time.time()
+    if args.experiment in TARGETS:
+        registry = MetricRegistry()
+        with maybe_profile(args.profile, out_path=args.profile_out):
+            result = TARGETS[args.experiment](
+                quick=args.quick, jobs=jobs,
+                metrics=registry, timeline_dir=out_dir,
+            )
+        print(result.render())
+        registry.write_json(metrics_path)
+    elif args.experiment in TRACE_WORKLOADS:
+        with maybe_profile(args.profile, out_path=args.profile_out):
+            telemetry = _trace_workload(args, out_dir)
+        telemetry.write_metrics(metrics_path)
+    else:
+        parser.error(
+            "unknown trace experiment %r: expected one of %s, or a workload (%s)"
+            % (args.experiment, ", ".join(sorted(TARGETS)),
+               " ".join(TRACE_WORKLOADS))
+        )
+    print("[metrics -> %s]" % metrics_path)
+    print("[trace %s in %.1fs, artifacts in %s]"
+          % (args.experiment, time.time() - started, out_dir))
+    return 0
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's evaluation tables and figures, "
-        "or fuzz schedule interleavings.",
+        "record telemetry timelines, or fuzz schedule interleavings.",
     )
-    parser.add_argument("target", choices=sorted(TARGETS) + ["all", "fuzz"])
+    parser.add_argument("target", choices=sorted(TARGETS) + ["all", "fuzz", "trace"])
+    parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help="for the trace target: a figure/table name or a workload name",
+    )
     parser.add_argument(
         "--quick", action="store_true", help="scaled-down geometry for a fast pass"
     )
@@ -89,6 +194,14 @@ def main(argv=None):
         "--profile", action="store_true",
         help="print a cProfile summary of each target (driving process only)",
     )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="FILE",
+        help="dump the raw cProfile data to FILE (loadable with pstats.Stats)",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write the merged telemetry metric registry as JSON to FILE",
+    )
     fuzz_group = parser.add_argument_group("fuzz target")
     fuzz_group.add_argument(
         "--workload", default="ra",
@@ -96,7 +209,8 @@ def main(argv=None):
     )
     fuzz_group.add_argument(
         "--variant", default="all",
-        help="STM variant to fuzz, or 'all' (default)",
+        help="STM variant to fuzz or trace, or 'all' "
+        "(default; trace reads it as 'optimized')",
     )
     fuzz_group.add_argument(
         "--seeds", type=int, default=8, metavar="N",
@@ -109,24 +223,37 @@ def main(argv=None):
     )
     fuzz_group.add_argument(
         "--out", default=None, metavar="DIR",
-        help="directory for failing-schedule artifacts (JSON traces + ledger)",
+        help="artifact directory: failing schedules for fuzz, timeline "
+        "traces for trace (default: trace-artifacts)",
     )
     args = parser.parse_args(argv)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     if jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.experiment is not None and args.target != "trace":
+        parser.error("the experiment argument only applies to the trace target")
 
     if args.target == "fuzz":
         return run_fuzz(args, jobs)
+    if args.target == "trace":
+        return run_trace(args, jobs, parser)
 
+    registry = None
+    if args.metrics:
+        from repro.telemetry import MetricRegistry
+
+        registry = MetricRegistry()
     names = sorted(TARGETS) if args.target == "all" else [args.target]
     for name in names:
         started = time.time()
-        with maybe_profile(args.profile):
-            result = TARGETS[name](quick=args.quick, jobs=jobs)
+        with maybe_profile(args.profile, out_path=args.profile_out):
+            result = TARGETS[name](quick=args.quick, jobs=jobs, metrics=registry)
         print(result.render())
         print("[%s regenerated in %.1fs, jobs=%d]" % (name, time.time() - started, jobs))
         print()
+    if registry is not None:
+        registry.write_json(args.metrics)
+        print("[metrics -> %s]" % args.metrics)
     return 0
 
 

@@ -14,7 +14,7 @@ are filed by spec key, and assembly order is fixed by the spec list.
 
 from repro.gpu.events import Phase
 from repro.harness import configs
-from repro.harness.parallel import JobSpec, run_jobs
+from repro.harness.parallel import JobSpec, merge_job_metrics, run_jobs
 from repro.harness.report import render_breakdown, render_series, render_table
 from repro.workloads import make_workload
 
@@ -45,6 +45,24 @@ def _params(name, quick):
     return _scaled(params, 4) if quick else params
 
 
+def _sweep(specs, jobs, metrics=None, timeline_dir=None):
+    """Run a sweep's spec list and key the results by spec key.
+
+    ``metrics`` (a :class:`~repro.telemetry.MetricRegistry`) turns on
+    per-worker telemetry and merges every worker's registry into it —
+    the sweeps' single integration point with the telemetry layer.
+    ``timeline_dir`` additionally records one Chrome-trace file per run.
+    """
+    if metrics is not None or timeline_dir is not None:
+        for spec in specs:
+            spec.telemetry = True
+            spec.timeline_dir = timeline_dir
+    results = run_jobs(specs, jobs)
+    if metrics is not None:
+        merge_job_metrics(results, into=metrics)
+    return {out.key: out for out in results}
+
+
 # ----------------------------------------------------------------------
 # Figure 2 — overall speedup over CGL
 # ----------------------------------------------------------------------
@@ -71,7 +89,7 @@ class Fig2Result:
         )
 
 
-def fig2(quick=False, jobs=None):
+def fig2(quick=False, jobs=None, metrics=None, timeline_dir=None):
     """Speedup of every STM variant over CGL on the five workloads."""
     specs = []
     for name in FIG2_WORKLOADS:
@@ -92,7 +110,7 @@ def fig2(quick=False, jobs=None):
                     allow_crash=True,
                 )
             )
-    outcomes = {out.key: out for out in run_jobs(specs, jobs)}
+    outcomes = _sweep(specs, jobs, metrics, timeline_dir)
 
     result = Fig2Result()
     for name in FIG2_WORKLOADS:
@@ -140,7 +158,7 @@ FIG3_VARIANTS = ("egpgv", "vbv", "tbv-sorting", "hv-backoff", "hv-sorting", "opt
 
 
 def fig3(workload_name="ra", thread_counts=(8, 32, 128, 512, 2048), total_txs=2048,
-         quick=False, jobs=None):
+         quick=False, jobs=None, metrics=None, timeline_dir=None):
     """Fixed total work split over a swept number of threads.
 
     Reproduces: EGPGV crashes early (static per-block metadata), VBV
@@ -164,7 +182,7 @@ def fig3(workload_name="ra", thread_counts=(8, 32, 128, 512, 2048), total_txs=20
                     allow_crash=True,
                 )
             )
-    outcomes = {out.key: out for out in run_jobs(specs, jobs)}
+    outcomes = _sweep(specs, jobs, metrics, timeline_dir)
 
     result = Fig3Result(workload_name, list(thread_counts))
     for variant in FIG3_VARIANTS:
@@ -223,6 +241,8 @@ def fig4(
     thread_counts=(256, 1024),
     quick=False,
     jobs=None,
+    metrics=None,
+    timeline_dir=None,
 ):
     """EigenBench sweep: HV vs TBV across shared-data and lock-table sizes.
 
@@ -252,7 +272,7 @@ def fig4(
                             variant, num_locks=locks,
                         )
                     )
-    outcomes = {out.key: out for out in run_jobs(specs, jobs)}
+    outcomes = _sweep(specs, jobs, metrics, timeline_dir)
 
     result = Fig4Result(list(shared_sizes), list(lock_sizes), list(thread_counts))
     for shared in shared_sizes:
@@ -294,7 +314,7 @@ class Fig5Result:
         )
 
 
-def fig5(quick=False, jobs=None):
+def fig5(quick=False, jobs=None, metrics=None, timeline_dir=None):
     """Phase breakdown of GN-1, GN-2, LB and KM under STM-Optimized.
 
     Paper shape: GN-2 dominated by STM overhead (init/buffering); LB and KM
@@ -306,7 +326,7 @@ def fig5(quick=False, jobs=None):
         JobSpec(name, name, _params(name, quick), "optimized")
         for name in ("gn", "lb", "km")
     ]
-    outcomes = {out.key: out for out in run_jobs(specs, jobs)}
+    outcomes = _sweep(specs, jobs, metrics, timeline_dir)
 
     result = Fig5Result()
     gn = outcomes["gn"].unwrap()
@@ -344,13 +364,13 @@ class Table1Result:
         )
 
 
-def table1(quick=False, jobs=None):
+def table1(quick=False, jobs=None, metrics=None, timeline_dir=None):
     """Measure the Table 1 columns for every workload under hv-sorting."""
     names = ("ra", "ht", "eb", "lb", "gn", "km")
     specs = [
         JobSpec(name, name, _params(name, quick), "hv-sorting") for name in names
     ]
-    outcomes = {out.key: out for out in run_jobs(specs, jobs)}
+    outcomes = _sweep(specs, jobs, metrics, timeline_dir)
 
     result = Table1Result()
     for name in names:
@@ -432,7 +452,7 @@ class AblationResult:
         )
 
 
-def ablations(quick=False, jobs=None):
+def ablations(quick=False, jobs=None, metrics=None, timeline_dir=None):
     """Isolate the paper's design decisions one at a time."""
     from repro.gpu import Device, ProgressError
     from repro.gpu.config import GpuConfig
@@ -498,7 +518,7 @@ def ablations(quick=False, jobs=None):
                 gpu_overrides=dict(warp_steps_per_turn=turn),
             )
         )
-    outcomes = {out.key: out for out in run_jobs(specs, jobs)}
+    outcomes = _sweep(specs, jobs, metrics, timeline_dir)
 
     for label in ("flat", "hashed"):
         run = outcomes[("locklog", label)].unwrap()
@@ -526,7 +546,7 @@ def ablations(quick=False, jobs=None):
     return result
 
 
-def table2(quick=False, jobs=None):
+def table2(quick=False, jobs=None, metrics=None, timeline_dir=None):
     """Sweep launch geometries per workload; report the optimum."""
     sweeps = {
         "ra": [(8, 32), (16, 32), (16, 64), (32, 32)],
@@ -551,7 +571,7 @@ def table2(quick=False, jobs=None):
                     stm_overrides=configs.egpgv_capacity(),
                 )
             )
-    outcomes = {out.key: out for out in run_jobs(specs, jobs)}
+    outcomes = _sweep(specs, jobs, metrics, timeline_dir)
 
     result = Table2Result()
     for name, geometries in sweeps.items():

@@ -22,11 +22,26 @@ def geometric_mean(values):
 
 
 def crossover_index(series_a, series_b):
-    """First index where series_a overtakes series_b (None if never).
+    """First index where ``series_a`` strictly overtakes ``series_b``.
 
-    Used to locate the HV/TBV crossover points of Figure 4.
+    Used to locate the HV/TBV crossover points of Figure 4.  Semantics,
+    spelled out because sweep series are ragged:
+
+    * Only the overlapping prefix is compared (``zip`` stops at the
+      shorter series); a crossover past the end of either is not found.
+    * An index where either value is ``None`` (a crashed run — e.g.
+      EGPGV past its static capacity) is skipped entirely, including
+      *leading* ``None`` pairs: the first comparable index can be deep
+      into the series.
+    * The comparison is strict (``a > b``): a tie is not a crossover,
+      so series that only ever touch return ``None``.
+
+    Returns the index into the zipped overlap, or ``None`` if ``series_a``
+    never strictly exceeds ``series_b`` at any comparable index.
     """
     for index, (a, b) in enumerate(zip(series_a, series_b)):
-        if a is not None and b is not None and a > b:
+        if a is None or b is None:
+            continue  # crashed / missing point: not comparable, skip
+        if a > b:
             return index
     return None

@@ -27,10 +27,12 @@ The worker count comes from, in order: the ``jobs`` argument, the
 """
 
 import os
+import re
 import traceback
 
 from repro.harness import configs
 from repro.harness.runner import run_workload
+from repro.telemetry import MetricRegistry, Telemetry
 from repro.workloads import make_workload
 
 DEFAULT_JOBS_ENV = "REPRO_JOBS"
@@ -58,6 +60,13 @@ class JobSpec:
     (e.g. ``{"warp_steps_per_turn": 8}``) — the spec carries plain data
     rather than a config object so it pickles cheaply and stays readable
     in logs.
+
+    ``telemetry=True`` has the worker run under a fresh
+    :class:`~repro.telemetry.Telemetry` session and ship the registry back
+    as ``JobResult.metrics`` (a plain JSON-able dict; the parent merges
+    them with :func:`merge_job_metrics`).  ``timeline_dir`` additionally
+    records a per-run Chrome-trace timeline into that directory (implies
+    telemetry) and sets ``JobResult.trace_path``.
     """
 
     __slots__ = (
@@ -70,11 +79,14 @@ class JobSpec:
         "gpu_overrides",
         "verify",
         "allow_crash",
+        "telemetry",
+        "timeline_dir",
     )
 
     def __init__(self, key, workload, params, variant,
                  num_locks=configs.DEFAULT_NUM_LOCKS, stm_overrides=None,
-                 gpu_overrides=None, verify=True, allow_crash=False):
+                 gpu_overrides=None, verify=True, allow_crash=False,
+                 telemetry=False, timeline_dir=None):
         self.key = key
         self.workload = workload
         self.params = dict(params)
@@ -84,11 +96,16 @@ class JobSpec:
         self.gpu_overrides = dict(gpu_overrides) if gpu_overrides else None
         self.verify = verify
         self.allow_crash = allow_crash
+        self.telemetry = telemetry
+        self.timeline_dir = timeline_dir
 
     def __getstate__(self):
         return {slot: getattr(self, slot) for slot in self.__slots__}
 
     def __setstate__(self, state):
+        # defaults first: states pickled before a slot existed stay valid
+        self.telemetry = False
+        self.timeline_dir = None
         for slot, value in state.items():
             setattr(self, slot, value)
 
@@ -97,19 +114,29 @@ class JobSpec:
 
 
 class JobResult:
-    """Outcome of one :class:`JobSpec`: a ``RunResult`` or a captured error."""
+    """Outcome of one :class:`JobSpec`: a ``RunResult`` or a captured error.
 
-    __slots__ = ("key", "run", "error")
+    ``metrics`` carries the worker's serialized
+    :class:`~repro.telemetry.MetricRegistry` (``as_dict`` form) when the
+    spec requested telemetry; ``trace_path`` points at the per-run timeline
+    artifact when one was recorded.
+    """
 
-    def __init__(self, key, run=None, error=None):
+    __slots__ = ("key", "run", "error", "metrics", "trace_path")
+
+    def __init__(self, key, run=None, error=None, metrics=None, trace_path=None):
         self.key = key
         self.run = run
         self.error = error
+        self.metrics = metrics
+        self.trace_path = trace_path
 
     def __getstate__(self):
         return {slot: getattr(self, slot) for slot in self.__slots__}
 
     def __setstate__(self, state):
+        self.metrics = None
+        self.trace_path = None
         for slot, value in state.items():
             setattr(self, slot, value)
 
@@ -131,11 +158,26 @@ class JobResult:
         return "JobResult(%r, %r)" % (self.key, self.run)
 
 
+def _slug(key):
+    """Filesystem-safe name for a job key (used for timeline filenames)."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", str(key)).strip("_") or "job"
+
+
 def execute_job(spec):
     """Run one spec in the current process; never raises.
 
     Module-level (not a closure) so it pickles for ProcessPoolExecutor.
     """
+    tel = None
+    if spec.telemetry or spec.timeline_dir is not None:
+        tel = Telemetry(
+            timeline=spec.timeline_dir is not None,
+            meta={
+                "job": str(spec.key),
+                "workload": spec.workload,
+                "variant": spec.variant,
+            },
+        )
     try:
         gpu = configs.bench_gpu()
         if spec.gpu_overrides:
@@ -151,10 +193,37 @@ def execute_job(spec):
             stm_overrides=spec.stm_overrides,
             verify=spec.verify,
             allow_crash=spec.allow_crash,
+            telemetry=tel,
         )
-        return JobResult(spec.key, run=run)
+        result = JobResult(spec.key, run=run)
     except Exception:
-        return JobResult(spec.key, error=traceback.format_exc())
+        result = JobResult(spec.key, error=traceback.format_exc())
+    if tel is not None:
+        result.metrics = tel.registry.as_dict()
+        if spec.timeline_dir is not None and tel.timeline is not None:
+            os.makedirs(spec.timeline_dir, exist_ok=True)
+            path = os.path.join(
+                spec.timeline_dir, "%s.trace.json" % _slug(spec.key)
+            )
+            tel.write_timeline(path)
+            result.trace_path = path
+    return result
+
+
+def merge_job_metrics(results, into=None):
+    """Merge the per-worker registries of ``results`` into one registry.
+
+    Counters sum, gauges take the last non-``None`` value, histograms merge
+    bucket-wise — the aggregation half of the telemetry layer's
+    cross-process story.  ``into`` (a :class:`MetricRegistry`) accumulates
+    in place when given; results without metrics are skipped.
+    """
+    merged = into if into is not None else MetricRegistry()
+    for result in results:
+        if result.metrics is None:
+            continue
+        merged.merge(MetricRegistry.from_dict(result.metrics))
+    return merged
 
 
 def run_jobs(specs, jobs=None, executor=None):

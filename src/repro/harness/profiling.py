@@ -18,14 +18,20 @@ DEFAULT_LIMIT = 25
 
 @contextmanager
 def maybe_profile(enabled, stream=None, limit=DEFAULT_LIMIT,
-                  sort="cumulative"):
+                  sort="cumulative", out_path=None):
     """Context manager: profile the enclosed block when ``enabled``.
 
-    When ``enabled`` is false this is a no-op with zero overhead, so call
-    sites can wrap their work unconditionally.  On exit the profile is
-    printed to ``stream`` (default stdout), sorted by ``sort``.
+    When neither ``enabled`` nor ``out_path`` is set this is a no-op with
+    zero overhead, so call sites can wrap their work unconditionally.  On
+    exit the profile is printed to ``stream`` (default stdout), sorted by
+    ``sort`` — printing happens only when ``enabled``, so ``out_path``
+    alone captures silently.
+
+    ``out_path`` dumps the raw profile (``cProfile`` dump format) to that
+    file for offline analysis: load it with ``pstats.Stats(path)`` or feed
+    it to snakeviz/gprof2dot.
     """
-    if not enabled:
+    if not (enabled or out_path):
         yield None
         return
     profiler = cProfile.Profile()
@@ -34,5 +40,8 @@ def maybe_profile(enabled, stream=None, limit=DEFAULT_LIMIT,
         yield profiler
     finally:
         profiler.disable()
-        stats = pstats.Stats(profiler, stream=stream)
-        stats.sort_stats(sort).print_stats(limit)
+        if out_path:
+            profiler.dump_stats(out_path)
+        if enabled:
+            stats = pstats.Stats(profiler, stream=stream)
+            stats.sort_stats(sort).print_stats(limit)

@@ -51,6 +51,15 @@ class RunResult:
         )
 
 
+def _publish_run(telemetry, runtime, result, device):
+    """Report a finished (or crashed) run into the telemetry session."""
+    if telemetry is None:
+        return
+    runtime.publish_metrics(telemetry.registry)
+    telemetry.publish_memory(device.mem)
+    telemetry.registry.add("runs.crashed" if result.crashed else "runs.completed")
+
+
 def run_workload(
     workload,
     variant,
@@ -60,6 +69,7 @@ def run_workload(
     verify=True,
     check_oracle=False,
     allow_crash=False,
+    telemetry=None,
 ):
     """Set up ``workload`` on a fresh device, run all its kernels under the
     STM ``variant``, verify, and return a :class:`RunResult`.
@@ -67,8 +77,14 @@ def run_workload(
     ``allow_crash=True`` converts :class:`EgpgvCapacityError` into a crashed
     result instead of raising — how the Figure 3 sweep records EGPGV's
     behaviour at large thread counts.
+
+    ``telemetry`` (a :class:`~repro.telemetry.session.Telemetry`) attaches
+    the telemetry layer: the device reports scheduler/kernel metrics, the
+    runtime publishes its counter bag and gauges after the run, and — when
+    the session records a timeline — it is installed as the runtime's
+    tracer so abort reasons and commit versions reach the trace.
     """
-    device = Device(gpu_config)
+    device = Device(gpu_config, telemetry=telemetry)
     workload.setup(device)
     overrides = dict(stm_overrides or {})
     overrides.setdefault("num_locks", num_locks)
@@ -77,6 +93,8 @@ def run_workload(
         overrides["record_history"] = True
     config = StmConfig(**overrides)
     runtime = make_runtime(variant, device, config)
+    if telemetry is not None and runtime.tracer is None:
+        runtime.tracer = telemetry
 
     result = RunResult(workload.name, variant)
     initial = list(device.mem.words) if check_oracle else None
@@ -92,6 +110,7 @@ def run_workload(
             raise
         result.crashed = True
         result.crash_reason = str(exc)
+        _publish_run(telemetry, runtime, result, device)
         return result
 
     for tx in runtime.threads:
@@ -104,6 +123,7 @@ def run_workload(
     total = sum(k.thread_cycles_total for k in result.kernel_results)
     in_tx = sum(k.thread_cycles_in_tx for k in result.kernel_results)
     result.tx_time_fraction = in_tx / total if total else 0.0
+    _publish_run(telemetry, runtime, result, device)
 
     if verify:
         workload.verify(device, runtime)

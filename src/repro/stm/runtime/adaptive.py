@@ -43,6 +43,13 @@ class HvAdaptiveRuntime(LockSortingRuntime):
     def make_thread(self, tc):
         return HvAdaptiveTx(self, tc)
 
+    def metric_gauges(self):
+        gauges = super().metric_gauges()
+        sorted_picks = self.stats["adaptive_sorted"]
+        total = sorted_picks + self.stats["adaptive_unsorted"]
+        gauges["sorted_fraction"] = sorted_picks / total if total else 0.0
+        return gauges
+
 
 class HvAdaptiveTx(LockSortingTx):
     """Transaction that picks its lock-log organization at begin time."""

@@ -112,6 +112,36 @@ class TmRuntime:
         attempts = commits + aborts
         return aborts / attempts if attempts else 0.0
 
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def metric_namespace(self):
+        """Root of this runtime's metric names, e.g. ``stm.hv_sorting``."""
+        return "stm.%s" % self.name.replace("-", "_")
+
+    def metric_gauges(self):
+        """Point-in-time values published next to the counters.
+
+        Subclasses extend the base dict with their variant-specific state
+        (clock value, lock-table occupancy, sequence locks, static
+        capacities, ...); keys are relative to :meth:`metric_namespace`.
+        """
+        return {"threads": len(self.threads)}
+
+    def publish_metrics(self, registry):
+        """Report this runtime's statistics into a metric registry.
+
+        The counter bag lands under the variant namespace with dashes
+        normalized (``aborts.lock_conflict`` of ``hv-sorting`` becomes
+        ``stm.hv_sorting.aborts.lock_conflict``); :meth:`metric_gauges`
+        values are published as gauges.  Returns the namespace.
+        """
+        namespace = self.metric_namespace()
+        registry.absorb_counters(namespace, self.stats)
+        for name, value in sorted(self.metric_gauges().items()):
+            registry.gauge("%s.%s" % (namespace, name)).set(value)
+        return namespace
+
 
 class TxThread:
     """Per-thread transactional state; subclasses implement the barriers."""

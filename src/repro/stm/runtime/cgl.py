@@ -28,6 +28,12 @@ class CglRuntime(TmRuntime):
     def make_thread(self, tc):
         return CglTx(self, tc)
 
+    def metric_gauges(self):
+        gauges = super().metric_gauges()
+        gauges["lock_word"] = self.mem.read(self.lock_addr)
+        gauges["commit_seq"] = self._commit_seq
+        return gauges
+
 
 class CglTx(TxThread):
     """One critical section presented through the TxThread interface."""

@@ -84,6 +84,16 @@ class EgpgvRuntime(TmRuntime):
     def make_thread(self, tc):
         return EgpgvTx(self, tc)
 
+    def metric_gauges(self):
+        gauges = super().metric_gauges()
+        gauges["clock"] = self.clock.peek(self.mem)
+        gauges["max_blocks"] = self.max_blocks
+        gauges["max_threads_per_block"] = self.max_threads_per_block
+        gauges["max_accesses"] = self.max_accesses
+        for key, value in self.lock_table.metrics_summary().items():
+            gauges["lock_table.%s" % key] = value
+        return gauges
+
 
 class EgpgvTx(TxThread):
     """One logical transaction, serialized with its block-mates."""

@@ -37,6 +37,15 @@ class HvBackoffRuntime(LockSortingRuntime):
     def make_thread(self, tc):
         return HvBackoffTx(self, tc)
 
+    def metric_gauges(self):
+        gauges = super().metric_gauges()
+        # fraction of attempts that escalated to the queueing phase: the
+        # contention signal this variant's two-phase backoff responds to
+        attempts = self.stats["begins"]
+        entries = self.stats["backoff_phase2_entries"]
+        gauges["phase2_fraction"] = entries / attempts if attempts else 0.0
+        return gauges
+
 
 class HvBackoffTx(LockSortingTx):
     """Transaction with encounter-order locks and two-phase warp backoff."""

@@ -72,6 +72,16 @@ class LockSortingRuntime(TmRuntime):
     def make_thread(self, tc):
         return LockSortingTx(self, tc)
 
+    def metric_gauges(self):
+        gauges = super().metric_gauges()
+        gauges["clock"] = self.clock.peek(self.mem)
+        gauges["use_vbv"] = int(self.use_vbv)
+        gauges["max_lock_attempts"] = self.max_lock_attempts
+        gauges["abort_jitter"] = self.abort_jitter
+        for key, value in self.lock_table.metrics_summary().items():
+            gauges["lock_table.%s" % key] = value
+        return gauges
+
 
 class LockSortingTx(TxThread):
     """Per-thread transaction state and barriers of Algorithm 3."""

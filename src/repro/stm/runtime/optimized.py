@@ -35,3 +35,9 @@ class OptimizedRuntime(LockSortingRuntime):
     def selected(self):
         """Which validation scheme the runtime chose: ``"hv"`` or ``"tbv"``."""
         return "hv" if self.use_vbv else "tbv"
+
+    def metric_gauges(self):
+        gauges = super().metric_gauges()
+        gauges["shared_data_size"] = self.shared_data_size
+        gauges["selected_hv"] = int(self.selected == "hv")
+        return gauges

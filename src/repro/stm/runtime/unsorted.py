@@ -38,6 +38,13 @@ class UnsortedNoBackoffRuntime(LockSortingRuntime):
     def make_thread(self, tc):
         return UnsortedNoBackoffTx(self, tc)
 
+    def metric_gauges(self):
+        gauges = super().metric_gauges()
+        # marks the strawman in merged dashboards: its runs livelock by
+        # design, so aggregated sweeps must be able to filter them out
+        gauges["sorting_disabled"] = 1
+        return gauges
+
 
 def crossed_order_kernel(data, stripe_span):
     """Adversarial kernel: lane 0 touches (A, B), lane 1 touches (B, A).

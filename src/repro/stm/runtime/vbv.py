@@ -34,6 +34,12 @@ class VbvRuntime(TmRuntime):
     def make_thread(self, tc):
         return VbvTx(self, tc)
 
+    def metric_gauges(self):
+        gauges = super().metric_gauges()
+        gauges["seqlock"] = self.mem.read(self.seq_addr)
+        gauges["bloom_bits"] = self.bloom_bits
+        return gauges
+
 
 class VbvTx(TxThread):
     """Per-thread NOrec transaction."""

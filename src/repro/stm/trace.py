@@ -138,9 +138,20 @@ class TxTracer:
         return "\n".join(lines)
 
     def to_csv(self, path):
-        """Dump all events to a CSV file; returns the row count."""
-        with open(path, "w") as handle:
-            handle.write(self.CSV_HEADER + "\n")
+        """Dump all events to a CSV file; returns the row count.
+
+        The header row is always written, so an empty trace still yields a
+        parseable file.  Rows go through the :mod:`csv` module, which
+        quotes any field containing a delimiter — abort reasons are free
+        text and may grow commas.  ``reason`` and ``version`` are blank
+        for the outcomes that have none (commits have no reason, aborts
+        no version).
+        """
+        import csv
+
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.CSV_HEADER.split(","))
             for event in self.events:
-                handle.write(",".join(str(x) for x in event.as_row()) + "\n")
+                writer.writerow(event.as_row())
         return len(self.events)

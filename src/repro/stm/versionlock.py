@@ -78,3 +78,11 @@ class GlobalLockTable:
         return max(
             version_of(self.mem.read(self.base + i)) for i in range(self.num_locks)
         )
+
+    def metrics_summary(self):
+        """Gauge snapshot for the telemetry layer (host-side, post-run)."""
+        return {
+            "num_locks": self.num_locks,
+            "locked": self.locked_count(),
+            "max_version": self.max_version(),
+        }

@@ -1,8 +1,12 @@
 """The `python -m repro.harness` command-line interface."""
 
+import json
+import os
+
 import pytest
 
 from repro.harness.__main__ import TARGETS, main
+from repro.telemetry.validate import validate_chrome_trace, validate_metrics
 
 
 class TestCli:
@@ -40,3 +44,89 @@ class TestCli:
     def test_bad_jobs_rejected(self):
         with pytest.raises(SystemExit):
             main(["fuzz", "--jobs", "0"])
+
+    def test_experiment_argument_requires_trace_target(self):
+        with pytest.raises(SystemExit):
+            main(["fig2", "ra"])
+
+    def test_trace_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_trace_rejects_unknown_experiment(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "nope", "--out", str(tmp_path)])
+
+    def test_trace_workload_writes_valid_artifacts(self, tmp_path, capsys):
+        out = os.path.join(str(tmp_path), "artifacts")
+        assert main([
+            "trace", "ra", "--quick", "--variant", "hv-sorting", "--out", out,
+        ]) == 0
+        trace_path = os.path.join(out, "ra-hv-sorting.trace.json")
+        with open(trace_path) as handle:
+            assert validate_chrome_trace(json.load(handle)) > 0
+        with open(os.path.join(out, "metrics.json")) as handle:
+            assert validate_metrics(json.load(handle)) > 0
+        assert "artifacts in" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_trace_figure_sweep_writes_per_run_traces(self, tmp_path, capsys):
+        out = os.path.join(str(tmp_path), "fig5")
+        metrics = os.path.join(str(tmp_path), "m.json")
+        assert main([
+            "trace", "fig5", "--quick", "--out", out, "--metrics", metrics,
+        ]) == 0
+        traces = [f for f in os.listdir(out) if f.endswith(".trace.json")]
+        assert len(traces) == 3  # gn, lb, km
+        with open(metrics) as handle:
+            data = json.load(handle)
+        assert validate_metrics(data) > 0
+        assert data["counters"]["runs.completed"] == 3
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_metrics_flag_on_figure_target(self, tmp_path, capsys, monkeypatch):
+        # keep it cheap: patch the target to a stub that still exercises the
+        # registry-threading contract of the figure loop
+        from repro.harness import __main__ as cli
+
+        class StubResult:
+            def render(self):
+                return "stub"
+
+        def stub_target(quick=False, jobs=None, metrics=None, timeline_dir=None):
+            metrics.add("stub.runs")
+            return StubResult()
+
+        monkeypatch.setitem(cli.TARGETS, "fig2", stub_target)
+        path = os.path.join(str(tmp_path), "metrics.json")
+        assert main(["fig2", "--quick", "--metrics", path]) == 0
+        with open(path) as handle:
+            assert json.load(handle)["counters"] == {"stub.runs": 1}
+
+    def test_fuzz_metrics_counters(self, tmp_path, capsys):
+        path = os.path.join(str(tmp_path), "fuzz.json")
+        assert main([
+            "fuzz", "--workload", "ra", "--variant", "hv-sorting",
+            "--seeds", "1", "--metrics", path,
+        ]) == 0
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["counters"]["fuzz.ra.hv_sorting.schedules"] > 0
+        assert data["counters"]["fuzz.ra.hv_sorting.failures"] == 0
+
+    def test_profile_out_writes_dump(self, tmp_path, capsys, monkeypatch):
+        from repro.harness import __main__ as cli
+
+        class StubResult:
+            def render(self):
+                return "stub"
+
+        def stub_target(quick=False, jobs=None, metrics=None, timeline_dir=None):
+            return StubResult()
+
+        monkeypatch.setitem(cli.TARGETS, "fig2", stub_target)
+        path = os.path.join(str(tmp_path), "run.prof")
+        assert main(["fig2", "--quick", "--profile-out", path]) == 0
+        import pstats
+
+        pstats.Stats(path)  # loadable raw dump

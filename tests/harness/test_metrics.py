@@ -80,3 +80,14 @@ class TestCrossover:
 
     def test_first_index_eligible(self):
         assert crossover_index([4, 1], [2, 2]) == 0
+
+    def test_leading_none_pairs_skipped(self):
+        # both series crash early (e.g. EGPGV below its viable geometry):
+        # the first comparable index can be deep into the series
+        assert crossover_index([None, None, 9], [None, None, 1]) == 2
+
+    def test_all_none_is_no_crossover(self):
+        assert crossover_index([None, None], [None, None]) is None
+
+    def test_tie_then_none_then_crossing(self):
+        assert crossover_index([2, None, 5], [2, 1, 1]) == 2

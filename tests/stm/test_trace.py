@@ -95,6 +95,30 @@ class TestTracer:
         _runtime, tracer = traced_run()
         assert len(tracer.hottest_threads(top=1)) <= 1
 
+    def test_csv_quotes_reasons_containing_commas(self, tmp_path):
+        import csv
+
+        class FakeTc:
+            tid = 1
+
+        class FakeTx:
+            tc = FakeTc()
+
+            def read_entries(self):
+                return []
+
+            def write_entries(self):
+                return {}
+
+        tracer = TxTracer()
+        tracer.on_abort(FakeTx(), "conflict at 3, retried")
+        path = os.path.join(str(tmp_path), "quoted.csv")
+        tracer.to_csv(path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == TxTracer.CSV_HEADER.split(",")
+        assert rows[1][3] == "conflict at 3, retried"  # one field, not two
+
     def test_as_row_substitutes_empty_strings(self):
         event = TxEvent(1, 2, "abort", None, 3, 4, None)
         row = event.as_row()

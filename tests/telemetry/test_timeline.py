@@ -1,0 +1,161 @@
+"""TimelineRecorder / _ThreadTrack: slice coalescing, abort collapse,
+Chrome-trace schema."""
+
+from repro.gpu.events import Phase
+from repro.telemetry.timeline import THREAD_TRACK_OFFSET, TimelineRecorder
+from repro.telemetry.validate import validate_chrome_trace
+
+
+def phase_events(recorder):
+    return [e for e in recorder.events() if e.get("cat") == "phase"]
+
+
+class TestCoalescing:
+    def test_contiguous_same_phase_merges(self):
+        recorder = TimelineRecorder()
+        recorder.begin_launch("k", 1)
+        track = recorder.track(0)
+        track.charge(Phase.NATIVE, 0, 4)
+        track.charge(Phase.NATIVE, 4, 2)
+        events = phase_events(recorder)
+        assert len(events) == 1
+        assert events[0]["ts"] == 0 and events[0]["dur"] == 6
+
+    def test_phase_change_splits(self):
+        recorder = TimelineRecorder()
+        recorder.begin_launch("k", 1)
+        track = recorder.track(0)
+        track.charge(Phase.NATIVE, 0, 4)
+        track.charge(Phase.LOCKS, 4, 2)
+        assert [e["name"] for e in phase_events(recorder)] == [
+            Phase.NATIVE, Phase.LOCKS,
+        ]
+
+    def test_time_gap_splits(self):
+        recorder = TimelineRecorder()
+        recorder.begin_launch("k", 1)
+        track = recorder.track(0)
+        track.charge(Phase.NATIVE, 0, 4)
+        track.charge(Phase.NATIVE, 10, 2)  # not contiguous
+        assert len(phase_events(recorder)) == 2
+
+    def test_zero_cycle_charge_ignored(self):
+        recorder = TimelineRecorder()
+        recorder.begin_launch("k", 1)
+        recorder.track(0).charge(Phase.NATIVE, 0, 0)
+        assert phase_events(recorder) == []
+
+
+class TestTxBrackets:
+    def test_commit_attempt_keeps_phase_slices(self):
+        recorder = TimelineRecorder()
+        recorder.begin_launch("k", 1)
+        track = recorder.track(0)
+        track.tx_begin(0)
+        track.charge(Phase.BUFFERING, 0, 3)
+        track.tx_end(3, "commit", version=7)
+        tx = [e for e in recorder.events() if e.get("cat") == "tx"]
+        assert len(tx) == 1
+        assert tx[0]["args"] == {"outcome": "commit", "version": 7}
+        assert tx[0]["cname"] == "good"
+        assert phase_events(recorder)[0]["name"] == Phase.BUFFERING
+
+    def test_abort_collapses_attempt_to_aborted(self):
+        recorder = TimelineRecorder()
+        recorder.begin_launch("k", 1)
+        track = recorder.track(0)
+        track.tx_begin(0)
+        track.charge(Phase.BUFFERING, 0, 3)
+        track.charge(Phase.LOCKS, 3, 2)
+        track.instant("lock_acquire", 4, {"addr": 9})
+        track.tx_end(5, "abort", reason="lock_conflict")
+        events = phase_events(recorder)
+        assert len(events) == 1
+        assert events[0]["name"] == Phase.ABORTED
+        assert events[0]["dur"] == 5  # 3 buffering + 2 locks, reclassified
+        tx = [e for e in recorder.events() if e.get("cat") == "tx"][0]
+        assert tx["args"]["reason"] == "lock_conflict"
+        assert tx["cname"] == "terrible"
+        # the instant survives the collapse with its original timestamp
+        instants = [e for e in recorder.events() if e.get("cat") == "instant"]
+        assert instants[0]["ts"] == 4
+
+    def test_pre_attempt_charges_not_collapsed(self):
+        recorder = TimelineRecorder()
+        recorder.begin_launch("k", 1)
+        track = recorder.track(0)
+        track.charge(Phase.NATIVE, 0, 5)
+        track.tx_begin(5)
+        track.charge(Phase.LOCKS, 5, 2)
+        track.tx_end(7, "abort", reason="validation")
+        names = [e["name"] for e in phase_events(recorder)]
+        assert Phase.NATIVE in names and Phase.ABORTED in names
+        native = next(e for e in phase_events(recorder) if e["name"] == Phase.NATIVE)
+        assert native["dur"] == 5
+
+    def test_unmatched_tx_end_is_noop(self):
+        recorder = TimelineRecorder()
+        recorder.begin_launch("k", 1)
+        recorder.track(0).tx_end(5, "commit")
+        assert [e for e in recorder.events() if e.get("cat") == "tx"] == []
+
+
+class TestRecorder:
+    def test_launches_get_distinct_pids(self):
+        recorder = TimelineRecorder()
+        assert recorder.begin_launch("a", 2) == 0
+        recorder.track(0).charge(Phase.NATIVE, 0, 1)
+        assert recorder.begin_launch("b", 2) == 1
+        recorder.track(0).charge(Phase.NATIVE, 0, 2)
+        assert recorder.phase_cycles(launch=0) == {Phase.NATIVE: 1}
+        assert recorder.phase_cycles(launch=1) == {Phase.NATIVE: 2}
+        assert recorder.phase_cycles() == {Phase.NATIVE: 3}
+
+    def test_thread_tracks_offset_above_sm_tracks(self):
+        recorder = TimelineRecorder()
+        recorder.begin_launch("k", 4)
+        track = recorder.track(2)
+        assert track.tid == THREAD_TRACK_OFFSET + 2
+
+    def test_sm_turns_recorded(self):
+        recorder = TimelineRecorder()
+        recorder.begin_launch("k", 1)
+        recorder.sm_turn(0, 3, 100, 8, 2)
+        sm = [e for e in recorder.events() if e.get("cat") == "sm"]
+        assert sm[0]["name"] == "warp 3"
+        assert sm[0]["args"] == {"steps": 2}
+
+    def test_chrome_trace_validates(self):
+        recorder = TimelineRecorder(meta={"workload": "unit"})
+        recorder.begin_launch("k", 1)
+        track = recorder.track(0)
+        track.tx_begin(0)
+        track.charge(Phase.COMMIT, 0, 2)
+        track.instant("fence", 1)
+        track.tx_end(2, "commit", version=1)
+        recorder.sm_turn(0, 0, 0, 2, 1)
+        trace = recorder.to_chrome_trace()
+        assert validate_chrome_trace(trace) > 0
+        assert trace["otherData"]["workload"] == "unit"
+
+    def test_write_roundtrip(self, tmp_path):
+        import json
+        import os
+
+        recorder = TimelineRecorder()
+        recorder.begin_launch("k", 1)
+        recorder.track(0).charge(Phase.NATIVE, 0, 1)
+        path = os.path.join(str(tmp_path), "t.trace.json")
+        recorder.write(path)
+        with open(path) as handle:
+            assert validate_chrome_trace(json.load(handle)) > 0
+
+    def test_phase_fractions_sum_to_one(self):
+        recorder = TimelineRecorder()
+        recorder.begin_launch("k", 1)
+        track = recorder.track(0)
+        track.charge(Phase.NATIVE, 0, 3)
+        track.charge(Phase.COMMIT, 3, 1)
+        fractions = recorder.phase_fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-12
+        assert fractions[Phase.NATIVE] == 0.75

@@ -1,0 +1,98 @@
+"""The telemetry artifact validator (also the CI smoke gate)."""
+
+import json
+import os
+
+import pytest
+
+from repro.telemetry import MetricRegistry
+from repro.telemetry.validate import (
+    ValidationError,
+    main,
+    validate_chrome_trace,
+    validate_file,
+    validate_metrics,
+)
+
+
+def good_trace():
+    return {
+        "traceEvents": [
+            {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+             "args": {"name": "launch 0"}},
+            {"ph": "X", "cat": "phase", "pid": 0, "tid": 0, "name": "native",
+             "ts": 0, "dur": 5},
+            {"ph": "i", "s": "t", "cat": "instant", "pid": 0, "tid": 0,
+             "name": "fence", "ts": 2},
+        ],
+    }
+
+
+class TestChromeTrace:
+    def test_accepts_good_trace(self):
+        assert validate_chrome_trace(good_trace()) == 3
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValidationError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_events(self):
+        with pytest.raises(ValidationError):
+            validate_chrome_trace({})
+
+    def test_rejects_negative_duration(self):
+        trace = good_trace()
+        trace["traceEvents"][1]["dur"] = -1
+        with pytest.raises(ValidationError):
+            validate_chrome_trace(trace)
+
+    def test_rejects_complete_event_without_timestamp(self):
+        trace = good_trace()
+        del trace["traceEvents"][1]["ts"]
+        with pytest.raises(ValidationError):
+            validate_chrome_trace(trace)
+
+    def test_rejects_unknown_metadata(self):
+        trace = good_trace()
+        trace["traceEvents"][0]["name"] = "frobnicate"
+        with pytest.raises(ValidationError):
+            validate_chrome_trace(trace)
+
+
+class TestMetrics:
+    def test_accepts_registry_dump(self):
+        registry = MetricRegistry()
+        registry.add("a.b", 2)
+        registry.observe("h", 3)
+        assert validate_metrics(registry.as_dict()) == 1
+
+    def test_rejects_non_numeric_counter(self):
+        with pytest.raises(ValidationError):
+            validate_metrics({"counters": {"a": "lots"}})
+
+    def test_rejects_histogram_without_count(self):
+        with pytest.raises(ValidationError):
+            validate_metrics({"counters": {}, "histograms": {"h": {}}})
+
+
+class TestCli:
+    def write(self, tmp_path, name, data):
+        path = os.path.join(str(tmp_path), name)
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        return path
+
+    def test_dispatches_on_shape(self, tmp_path):
+        trace = self.write(tmp_path, "t.json", good_trace())
+        metrics = self.write(tmp_path, "m.json", MetricRegistry().as_dict())
+        assert "Chrome trace" in validate_file(trace)
+        assert "metrics" in validate_file(metrics)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = self.write(tmp_path, "good.json", good_trace())
+        bad = self.write(tmp_path, "bad.json", {"traceEvents": [{"ph": 7}]})
+        assert main([good]) == 0
+        assert main([good, bad]) == 1
+        assert main([]) == 2
+        captured = capsys.readouterr()
+        assert "INVALID" in captured.err
