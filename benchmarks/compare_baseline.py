@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Compare simulator throughput (steps/sec) against a committed baseline.
+
+Runs a small fixed set of (workload, variant) configurations through
+``run_under_schedule``, measures warp-steps per wall-clock second (best
+of ``--repeat`` runs), and compares against ``benchmarks/baseline.json``:
+
+* a drop of more than ``--threshold`` (default 20%) prints a REGRESSION
+  warning — exit 0 unless ``--strict``, since absolute wall-clock
+  numbers vary across machines and CI runners;
+* a *step-count* mismatch is always an error: steps are simulated and
+  must be bit-identical on every machine.
+
+Refresh the baseline (e.g. after an intentional perf change) with::
+
+    PYTHONPATH=src python benchmarks/compare_baseline.py --update
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+CASES = [
+    ("ra", "hv-sorting"),
+    ("ra", "vbv"),
+    ("ra", "cgl"),
+    ("ht", "optimized"),
+]
+
+
+def measure(workload, variant, repeat):
+    from repro.harness import configs
+    from repro.sched.explore import run_under_schedule
+
+    params = configs.test_workload_params(workload)
+    best = None
+    steps = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        outcome = run_under_schedule(workload, params, variant)
+        elapsed = time.perf_counter() - start
+        if outcome.failure is not None:
+            raise SystemExit(
+                "benchmark run failed: %s/%s -> %s" % (workload, variant, outcome.failure)
+            )
+        steps = outcome.steps
+        rate = outcome.steps / elapsed
+        best = rate if best is None else max(best, rate)
+    return {"steps": steps, "steps_per_sec": round(best, 1)}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baseline.json from this machine's numbers")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on throughput regression, not just warn")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="fractional steps/sec drop that counts as a regression")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs per case; the best rate is kept")
+    args = parser.parse_args(argv)
+
+    current = {
+        "%s/%s" % (workload, variant): measure(workload, variant, args.repeat)
+        for workload, variant in CASES
+    }
+
+    if args.update:
+        payload = {
+            "comment": "best-of-%d steps/sec per case at configs.test_workload_params "
+                       "geometry; refresh with --update" % args.repeat,
+            "benchmarks": current,
+        }
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print("baseline written to %s" % BASELINE_PATH)
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())["benchmarks"]
+    status = 0
+    for case, now in sorted(current.items()):
+        then = baseline.get(case)
+        if then is None:
+            print("%-20s NEW         %10.1f steps/sec (not in baseline)"
+                  % (case, now["steps_per_sec"]))
+            continue
+        if then["steps"] != now["steps"]:
+            print("%-20s STEP DRIFT  baseline %d steps, now %d -- simulation "
+                  "is no longer deterministic vs the committed baseline"
+                  % (case, then["steps"], now["steps"]))
+            status = 1
+            continue
+        ratio = now["steps_per_sec"] / then["steps_per_sec"]
+        if ratio < 1.0 - args.threshold:
+            print("%-20s REGRESSION  %10.1f -> %10.1f steps/sec (%.0f%% of baseline)"
+                  % (case, then["steps_per_sec"], now["steps_per_sec"], 100 * ratio))
+            if args.strict:
+                status = 1
+        else:
+            print("%-20s ok          %10.1f -> %10.1f steps/sec (%.0f%% of baseline)"
+                  % (case, then["steps_per_sec"], now["steps_per_sec"], 100 * ratio))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Fault injection, online sanitizing, and mutant-efficacy campaigns.
+
+The checker stack of this reproduction — the strict-serializability oracle
+(:mod:`repro.stm.oracle`), the interleaving fuzzer (:mod:`repro.sched.fuzz`)
+and the online sanitizer added here — argues that the GPU-STM protocols are
+correct.  This package supplies the *evidence that the checkers themselves
+work*: deterministic fault injection at the simulator's memory/lock/clock/
+scheduler seams, an online invariant checker (the sanitizer), and a corpus
+of seeded protocol bugs (mutants) with a campaign driver that proves every
+mutant is caught by at least one checker while the unmutated runtimes stay
+clean.
+
+Layers:
+
+* :mod:`repro.faults.plan` — :class:`FaultSpec`/:class:`FaultPlan` describe
+  seeded, deterministic trigger points; :class:`FaultInjector` is the armed
+  form a :class:`~repro.gpu.scheduler.Device` consults.  Zero cost when no
+  plan is armed (the golden-cycle tests pin bit-identical cycles).
+* :mod:`repro.faults.ctx` — :class:`InstrumentedThreadCtx`, the thread
+  context that routes every globally-visible operation past the injector
+  and the sanitizer (same pattern as the telemetry context).
+* :mod:`repro.faults.sanitizer` — :class:`StmSanitizer`, the online
+  invariant checker speaking the TxTracer event protocol.
+* :mod:`repro.faults.mutants` — the seeded-bug corpus, applied as
+  reversible patches to any runtime instance.
+* :mod:`repro.faults.campaign` — the mutant x checker efficacy matrix,
+  driven through :func:`repro.harness.parallel.run_jobs`.
+
+See ``docs/fault_injection.md`` for the full tour.
+"""
+
+from repro.faults.campaign import run_campaign, render_matrix
+from repro.faults.ctx import InstrumentedThreadCtx
+from repro.faults.mutants import MUTANTS, Mutant, MutantRuntimeFactory
+from repro.faults.plan import FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec
+from repro.faults.sanitizer import SanitizerViolation, StmSanitizer
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InstrumentedThreadCtx",
+    "MUTANTS",
+    "Mutant",
+    "MutantRuntimeFactory",
+    "SanitizerViolation",
+    "StmSanitizer",
+    "render_matrix",
+    "run_campaign",
+]

@@ -1,0 +1,297 @@
+"""Mutant-efficacy campaigns: prove the checker stack catches seeded bugs.
+
+A campaign runs every selected mutant (:data:`repro.faults.mutants.MUTANTS`)
+under every selected checker and assembles the **efficacy matrix** — the
+evidence the ISSUE asks for: each seeded protocol bug is detected by at
+least one of
+
+``oracle``
+    one round-robin run through :func:`repro.sched.explore
+    .run_under_schedule`; detection = any recorded failure (a strict-
+    serializability violation, or a watchdog trip when the bug destroys
+    progress instead of safety).
+``sanitizer``
+    the same single run with :class:`~repro.faults.sanitizer.StmSanitizer`
+    bound; detection = any sanitizer violation *or* any failure (the
+    online checker also sees the run the oracle sees).
+``fuzzer``
+    a short :func:`repro.sched.fuzz.fuzz_schedules` campaign (no
+    shrinking); detection = any failing schedule.
+
+Alongside the mutants, the campaign runs every covered variant *unmutated*
+under every checker: the matrix is only ``ok`` when all mutants are caught
+**and** all baselines stay clean, so a checker cannot "win" by flagging
+everything.
+
+Jobs fan out through :func:`repro.harness.parallel.run_jobs`;
+:func:`execute_campaign_job` is the module-level executor that pickles into
+worker processes.  The ``inject`` CLI target (``python -m repro.harness
+inject``) drives :func:`run_campaign` and writes the JSON matrix.
+"""
+
+from repro.faults.mutants import MUTANTS, MutantRuntimeFactory
+from repro.harness.parallel import run_jobs
+
+CHECKERS = ("oracle", "sanitizer", "fuzzer")
+
+#: Small geometry shared by every campaign job; individual mutants overlay
+#: :attr:`~repro.faults.mutants.Mutant.workload_params` to raise contention
+#: where their bug needs collisions to matter.
+BASE_PARAMS = dict(
+    array_size=64,
+    grid=2,
+    block=16,
+    txs_per_thread=2,
+    actions_per_tx=2,
+)
+
+#: Watchdog budget of every campaign run.  Clean baseline runs of the
+#: BASE_PARAMS geometry finish in a few thousand warp steps; mutants that
+#: destroy progress (leaked locks, unsorted acquisition) should trip fast
+#: instead of burning the explorer's default two-million-step budget.
+MAX_STEPS = 120_000
+
+
+class CampaignJob:
+    """One (mutant-or-baseline, variant, checker) unit of campaign work.
+
+    Plain picklable data — instances cross the process-pool boundary of
+    :func:`repro.harness.parallel.run_jobs`.  ``mutant`` is ``None`` for a
+    clean-baseline job.
+    """
+
+    __slots__ = ("mutant", "variant", "checker", "workload", "params", "seeds")
+
+    def __init__(self, mutant, variant, checker, workload, params, seeds):
+        self.mutant = mutant
+        self.variant = variant
+        self.checker = checker
+        self.workload = workload
+        self.params = dict(params)
+        self.seeds = seeds
+
+    def __repr__(self):
+        return "CampaignJob(%s/%s via %s)" % (
+            self.mutant or "baseline", self.variant, self.checker,
+        )
+
+
+def execute_campaign_job(job):
+    """Run one campaign job; returns a plain result dict, never raises.
+
+    An unexpected exception is reported as ``detected=True`` with
+    ``error`` set: on a mutant a crash still counts as "caught", and on a
+    baseline it poisons the matrix's ``ok`` so the problem surfaces
+    instead of disappearing into a worker process.
+    """
+    # imported here, not at module top: repro.faults must stay importable
+    # without dragging in the whole scheduling/workload stack
+    from repro.sched.explore import run_under_schedule
+    from repro.sched.fuzz import fuzz_schedules
+
+    factory = MutantRuntimeFactory(job.mutant) if job.mutant else None
+    result = {
+        "mutant": job.mutant,
+        "variant": job.variant,
+        "checker": job.checker,
+        "detected": False,
+        "detail": None,
+        "livelock": False,
+        "error": None,
+    }
+    try:
+        if job.checker == "fuzzer":
+            report = fuzz_schedules(
+                job.workload,
+                job.params,
+                job.variant,
+                seeds=job.seeds,
+                jobs=1,
+                shrink=False,
+                gpu_overrides=dict(max_steps=MAX_STEPS),
+                runtime_factory=factory,
+            )
+            result["detected"] = report.found_violation
+            if report.failures:
+                first = report.failures[0].outcome
+                result["detail"] = "%s: %s" % (
+                    first.failure, (first.detail or "").splitlines()[0],
+                )
+                result["livelock"] = first.livelock
+        else:
+            outcome = run_under_schedule(
+                job.workload,
+                job.params,
+                job.variant,
+                policy="rr",
+                sanitize=job.checker == "sanitizer",
+                gpu_overrides=dict(max_steps=MAX_STEPS),
+                runtime_factory=factory,
+            )
+            if job.checker == "sanitizer":
+                result["detected"] = (
+                    bool(outcome.violations) or outcome.failure is not None
+                )
+            else:
+                result["detected"] = outcome.failure is not None
+            if outcome.failure is not None:
+                result["detail"] = "%s: %s" % (
+                    outcome.failure, (outcome.detail or "").splitlines()[0],
+                )
+            elif outcome.violations:
+                result["detail"] = "%(check)s: %(detail)s" % outcome.violations[0]
+            result["livelock"] = outcome.livelock
+    except Exception as exc:  # noqa: BLE001 - worker must never raise
+        result["detected"] = True
+        result["error"] = "%s: %s" % (type(exc).__name__, exc)
+        result["detail"] = result["error"]
+    return result
+
+
+def _campaign_jobs(names, checkers, workload, seeds, include_baselines):
+    jobs = []
+    covered = []
+    for name in names:
+        mutant = MUTANTS[name]
+        params = dict(BASE_PARAMS)
+        params.update(mutant.workload_params)
+        for variant in mutant.variants:
+            if variant not in covered:
+                covered.append(variant)
+            for checker in checkers:
+                jobs.append(
+                    CampaignJob(name, variant, checker, workload, params, seeds)
+                )
+    if include_baselines:
+        for variant in covered:
+            for checker in checkers:
+                jobs.append(
+                    CampaignJob(
+                        None, variant, checker, workload, BASE_PARAMS, seeds
+                    )
+                )
+    return jobs
+
+
+def run_campaign(
+    mutants=None,
+    checkers=CHECKERS,
+    jobs=1,
+    workload="ra",
+    include_baselines=True,
+    seeds=2,
+):
+    """Run the mutant x checker campaign; returns the efficacy matrix dict.
+
+    ``mutants`` is an iterable of mutant names (default: the whole corpus);
+    ``checkers`` any subset of :data:`CHECKERS`; ``jobs`` the process-pool
+    width handed to :func:`~repro.harness.parallel.run_jobs`; ``seeds`` the
+    per-fuzzer-job schedule count.
+
+    The matrix's ``ok`` is True iff every mutant was detected by at least
+    one checker on at least one of its variants **and** every baseline
+    stayed clean.
+    """
+    names = list(mutants) if mutants is not None else sorted(MUTANTS)
+    unknown = [n for n in names if n not in MUTANTS]
+    if unknown:
+        raise ValueError(
+            "unknown mutant(s) %s; corpus has: %s"
+            % (", ".join(unknown), ", ".join(sorted(MUTANTS)))
+        )
+    checkers = list(checkers)
+    unknown = [c for c in checkers if c not in CHECKERS]
+    if unknown:
+        raise ValueError(
+            "unknown checker(s) %s; available: %s"
+            % (", ".join(unknown), ", ".join(CHECKERS))
+        )
+
+    specs = _campaign_jobs(names, checkers, workload, seeds, include_baselines)
+    results = run_jobs(specs, jobs=jobs, executor=execute_campaign_job)
+
+    matrix = {
+        "workload": workload,
+        "checkers": checkers,
+        "mutants": {},
+        "baselines": {},
+        "ok": True,
+    }
+    for name in names:
+        mutant = MUTANTS[name]
+        matrix["mutants"][name] = {
+            "description": mutant.description,
+            "variants": list(mutant.variants),
+            "expected": list(mutant.expected),
+            "results": {},
+            "detected": False,
+        }
+    for spec, result in zip(specs, results):
+        if spec.mutant is None:
+            cell = matrix["baselines"].setdefault(spec.variant, {})
+            cell[spec.checker] = result
+            if result["detected"]:
+                matrix["ok"] = False
+        else:
+            entry = matrix["mutants"][spec.mutant]
+            cell = entry["results"].setdefault(spec.variant, {})
+            cell[spec.checker] = result
+            if result["detected"] and not result["error"]:
+                entry["detected"] = True
+    for entry in matrix["mutants"].values():
+        if not entry["detected"]:
+            matrix["ok"] = False
+    return matrix
+
+
+def render_matrix(matrix):
+    """Human-readable table of an efficacy matrix (one mutant per row)."""
+    checkers = matrix["checkers"]
+    name_width = max(
+        [len("mutant")] + [len(name) for name in matrix["mutants"]] or [6]
+    )
+    header = "%-*s  %s  caught" % (
+        name_width, "mutant", "  ".join("%-9s" % c for c in checkers),
+    )
+    lines = [header, "-" * len(header)]
+    for name in sorted(matrix["mutants"]):
+        entry = matrix["mutants"][name]
+        cells = []
+        for checker in checkers:
+            hits = [
+                result
+                for result in (
+                    entry["results"].get(v, {}).get(checker)
+                    for v in entry["variants"]
+                )
+                if result is not None and result["detected"]
+            ]
+            if any(r["error"] for r in hits):
+                cells.append("%-9s" % "ERROR")
+            elif hits:
+                cells.append("%-9s" % "caught")
+            else:
+                cells.append("%-9s" % "-")
+        lines.append(
+            "%-*s  %s  %s" % (
+                name_width, name, "  ".join(cells),
+                "yes" if entry["detected"] else "NO",
+            )
+        )
+    clean = [v for v, cell in sorted(matrix["baselines"].items())
+             if not any(r["detected"] for r in cell.values())]
+    dirty = [v for v, cell in sorted(matrix["baselines"].items())
+             if any(r["detected"] for r in cell.values())]
+    if clean:
+        lines.append("baselines clean: %s" % ", ".join(clean))
+    for variant in dirty:
+        flagged = [
+            "%s (%s)" % (checker, result["detail"])
+            for checker, result in sorted(matrix["baselines"][variant].items())
+            if result["detected"]
+        ]
+        lines.append(
+            "baseline FALSE POSITIVE on %s: %s" % (variant, "; ".join(flagged))
+        )
+    lines.append("matrix ok: %s" % ("yes" if matrix["ok"] else "NO"))
+    return "\n".join(lines)

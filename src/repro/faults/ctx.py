@@ -1,0 +1,170 @@
+"""Fault/sanitizer-instrumented thread context.
+
+:class:`InstrumentedThreadCtx` is the faults analogue of
+:class:`~repro.telemetry.ctx.TelemetryThreadCtx`: a drop-in
+:class:`~repro.gpu.thread.ThreadCtx` subclass installed through the
+``ctx_factory`` seam of :meth:`~repro.gpu.scheduler.Device.launch`.  The
+base class keeps its manually-inlined hot paths untouched — the
+zero-cost-when-disabled guarantee — while this subclass routes every
+globally-visible operation past the armed :class:`~repro.faults.plan
+.FaultInjector` and/or the online :class:`~repro.faults.sanitizer
+.StmSanitizer`.
+
+The wrappers charge exactly the costs the base class charges (same
+``_account`` calls, same latencies), so an armed run whose plan never
+fires — and any sanitized run — produces bit-identical simulated cycles;
+the cost-neutrality test in ``tests/faults`` pins that.
+"""
+
+from repro.faults.plan import DROPPED
+from repro.gpu.events import OpKind, Phase
+from repro.gpu.thread import ThreadCtx
+
+
+class InstrumentedThreadCtx(ThreadCtx):
+    """ThreadCtx whose global operations consult a fault injector and/or
+    an STM sanitizer.  Either collaborator may be None."""
+
+    __slots__ = ("_injector", "_sanitizer")
+
+    def __init__(self, tid, lane_id, warp, block, mem, config, injector, sanitizer):
+        ThreadCtx.__init__(self, tid, lane_id, warp, block, mem, config)
+        self._injector = injector
+        self._sanitizer = sanitizer
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def gread(self, addr, phase=Phase.NATIVE):
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._account(OpKind.READ, addr, phase, self._mem_latency)
+        value = self._words[addr]
+        injector = self._injector
+        if injector is not None:
+            value = injector.filter_read(self.tid, addr, value)
+        return value
+
+    def gread_l2(self, addr, phase=Phase.NATIVE):
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._account(OpKind.L2_READ, addr, phase, self._l2_read_latency)
+        value = self._words[addr]
+        injector = self._injector
+        if injector is not None:
+            value = injector.filter_read(self.tid, addr, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def gwrite(self, addr, value, phase=Phase.NATIVE):
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._account(OpKind.WRITE, addr, phase, self._mem_latency)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_write(self.tid, addr, value, phase)
+        injector = self._injector
+        if injector is not None:
+            value = injector.filter_write(self.tid, addr, value, self._words[addr])
+            if value is DROPPED:
+                return
+        self._words[addr] = value
+
+    # ------------------------------------------------------------------
+    # Atomics
+    # ------------------------------------------------------------------
+    def atomic_cas(self, addr, expected, new, phase=Phase.NATIVE):
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_atomic(self.tid, addr, phase)
+        injector = self._injector
+        if injector is not None:
+            old = self._words[addr]
+            faked = injector.intercept_cas(self.tid, addr, old, expected, new)
+            if faked is not None:
+                return faked
+        return self.mem.atomic_cas(addr, expected, new)
+
+    def atomic_or(self, addr, value, phase=Phase.NATIVE):
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_atomic(self.tid, addr, phase)
+        injector = self._injector
+        if injector is not None:
+            old = self._words[addr]
+            faked = injector.intercept_or(self.tid, addr, old, value)
+            if faked is not None:
+                # report the lock as already held; perform no mutation
+                return faked
+        return self.mem.atomic_or(addr, value)
+
+    def atomic_add(self, addr, value, phase=Phase.NATIVE):
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_atomic(self.tid, addr, phase)
+        injector = self._injector
+        if injector is not None:
+            old = self._words[addr]
+            faked = injector.intercept_add(self.tid, addr, old, value)
+            if faked is not None:
+                return faked
+        return self.mem.atomic_add(addr, value)
+
+    # atomic_inc delegates to atomic_add in the base class, so it is
+    # covered; atomic_sub/atomic_exch have no STM fault seam and only gain
+    # the sanitizer probe for completeness.
+    def atomic_sub(self, addr, value, phase=Phase.NATIVE):
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_atomic(self.tid, addr, phase)
+        return self.mem.atomic_sub(addr, value)
+
+    def atomic_exch(self, addr, value, phase=Phase.NATIVE):
+        if self._check_bounds:
+            self.mem.check(addr)
+        self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_atomic(self.tid, addr, phase)
+        return self.mem.atomic_exch(addr, value)
+
+    # ------------------------------------------------------------------
+    # Fences and transaction windows (sanitizer ordering probes)
+    # ------------------------------------------------------------------
+    def fence(self, phase=Phase.NATIVE):
+        ThreadCtx.fence(self, phase)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_fence(self.tid, phase)
+
+    def tx_window_begin(self):
+        ThreadCtx.tx_window_begin(self)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_tx_window(self.tid, "begin")
+
+    def tx_window_commit(self):
+        ThreadCtx.tx_window_commit(self)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_tx_window(self.tid, "commit")
+
+    def tx_window_abort(self):
+        ThreadCtx.tx_window_abort(self)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_tx_window(self.tid, "abort")

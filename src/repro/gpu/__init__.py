@@ -22,7 +22,7 @@ the per-lane :class:`~repro.gpu.thread.ThreadCtx`.
 """
 
 from repro.gpu.config import GpuConfig
-from repro.gpu.errors import GpuError, ProgressError, LaunchError
+from repro.gpu.errors import GpuError, LivelockError, ProgressError, LaunchError
 from repro.gpu.events import Phase
 from repro.gpu.kernel import KernelResult
 from repro.gpu.memory import GlobalMemory
@@ -36,5 +36,6 @@ __all__ = [
     "KernelResult",
     "LaunchError",
     "Phase",
+    "LivelockError",
     "ProgressError",
 ]

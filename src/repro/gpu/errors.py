@@ -23,5 +23,18 @@ class ProgressError(GpuError):
         self.snapshot = snapshot or {}
 
 
+class LivelockError(ProgressError):
+    """Watchdog trip where every stuck lane was still actively stepping.
+
+    Raised instead of the plain :class:`ProgressError` when the diagnostic
+    snapshot shows no parked lanes (no reconvergence waits, no block
+    barriers): the kernel is spinning, not blocked — the signature of the
+    paper's section 2.2 livelocks (symmetric lock retries, lockstep
+    spinlock losers).  Deadlock-suspect trips (parked lanes present) keep
+    the base class, so fault campaigns can tell the two apart by type
+    while ``except ProgressError`` continues to catch both.
+    """
+
+
 class MemoryFault(GpuError):
     """Out-of-bounds global memory access."""

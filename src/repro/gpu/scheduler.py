@@ -28,7 +28,7 @@ of hanging the host.
 from collections import deque
 
 from repro.gpu.config import GpuConfig
-from repro.gpu.errors import LaunchError, ProgressError
+from repro.gpu.errors import LaunchError, LivelockError, ProgressError
 from repro.gpu.kernel import KernelResult
 from repro.gpu.memory import GlobalMemory
 from repro.gpu.warp import build_block
@@ -83,6 +83,10 @@ class Device:
         self.config = config or GpuConfig()
         self.mem = GlobalMemory()
         self.telemetry = telemetry
+        # armed by FaultPlan.arm / StmSanitizer.bind (repro.faults); None
+        # keeps every launch on the uninstrumented paths
+        self.fault_injector = None
+        self.sanitizer = None
 
     def launch(self, kernel, grid_blocks, block_threads, args=(), attach=None,
                smem_words=0, policy=None, record_schedule=None):
@@ -120,6 +124,21 @@ class Device:
                 def ctx_factory(tid, lane_id, warp, block, mem, cfg):
                     return TelemetryThreadCtx(tid, lane_id, warp, block, mem, cfg, tel)
 
+        injector = self.fault_injector
+        sanitizer = self.sanitizer
+        if injector is not None or sanitizer is not None:
+            if ctx_factory is not None:
+                raise LaunchError(
+                    "fault injection / sanitizing cannot be combined with a "
+                    "telemetry timeline: both own the thread-context factory"
+                )
+            from repro.faults.ctx import InstrumentedThreadCtx
+
+            def ctx_factory(tid, lane_id, warp, block, mem, cfg):
+                return InstrumentedThreadCtx(
+                    tid, lane_id, warp, block, mem, cfg, injector, sanitizer
+                )
+
         blocks = []
         for index in range(grid_blocks):
             first_tid = index * block_threads
@@ -142,7 +161,9 @@ class Device:
             spec = policy.spec()
             trace = ScheduleTrace(policy=spec if isinstance(spec, str) else policy.name)
 
-        if trace is None and tel is None and type(policy) is RoundRobin:
+        if trace is None and tel is None and injector is None and type(policy) is RoundRobin:
+            # (an armed injector takes the generic path so its scheduler
+            # hook — warp-stall windows — sees every issue decision)
             # the common case keeps the tight loop: no per-issue virtual
             # calls, bit-identical to the pre-policy scheduler
             total_steps, total_mem_txns = self._issue_round_robin(sms, config)
@@ -234,12 +255,7 @@ class Device:
                 # watchdog, checked per issued turn: a livelocked kernel
                 # overshoots max_steps by at most one turn quota
                 if total_steps > max_steps:
-                    raise ProgressError(
-                        "watchdog: %d warp steps without kernel completion "
-                        "(livelock or deadlock; see snapshot)" % total_steps,
-                        steps=total_steps,
-                        snapshot=self._snapshot(sms),
-                    )
+                    raise self._watchdog_error(total_steps, sms)
             active_sms = still_active
         return total_steps, total_mem_txns
 
@@ -255,6 +271,7 @@ class Device:
         total_mem_txns = 0
         max_steps = config.max_steps
         record = trace.record if trace is not None else None
+        injector = self.fault_injector
         active_sms = [sm for sm in sms if sm.busy()]
         while active_sms:
             still_active = []
@@ -274,6 +291,10 @@ class Device:
                         "resident warps on SM %d"
                         % (policy.name, index, len(warps), sm.index)
                     )
+                if injector is not None:
+                    # warp-stall faults: may redirect the decision to
+                    # another resident warp inside an armed window
+                    index = injector.select_index(sm.index, warps, index)
                 warp = warps[index]
                 block = warp.block
                 quota = policy.quota(sm, warp)
@@ -308,21 +329,46 @@ class Device:
                 if warps or sm.pending:
                     add_active(sm)
                 if total_steps > max_steps:
-                    snapshot = self._snapshot(sms)
+                    error = self._watchdog_error(total_steps, sms)
                     if tel is not None:
-                        tel.publish_snapshot(snapshot)
-                    error = ProgressError(
-                        "watchdog: %d warp steps without kernel completion "
-                        "(livelock or deadlock; see snapshot)" % total_steps,
-                        steps=total_steps,
-                        snapshot=snapshot,
-                    )
+                        tel.publish_snapshot(error.snapshot)
                     # keep the partial trace reachable: a schedule that
                     # *causes* a livelock is itself the repro artifact
                     error.schedule_trace = trace
                     raise error
             active_sms = still_active
         return total_steps, total_mem_txns
+
+    def _watchdog_error(self, total_steps, sms):
+        """Build the watchdog error, classifying livelock vs deadlock.
+
+        Lanes parked at a reconvergence point or a block barrier cannot
+        step again without outside help — their presence means a deadlock
+        is (at least partly) suspected, reported as the base
+        :class:`ProgressError`.  When every stuck lane is still stepping,
+        the kernel is spinning: :class:`LivelockError`.
+        """
+        snapshot = self._snapshot(sms)
+        parked = any(entry["waiting"] for entry in snapshot["live_warps"])
+        barrier = any(
+            warp.block.barrier_waiting
+            for sm in sms
+            for warp in sm.resident_warps
+        )
+        if parked or barrier:
+            return ProgressError(
+                "watchdog: %d warp steps without kernel completion "
+                "(deadlock suspected: parked lanes present; see snapshot)"
+                % total_steps,
+                steps=total_steps,
+                snapshot=snapshot,
+            )
+        return LivelockError(
+            "watchdog: %d warp steps without kernel completion (livelock: "
+            "all stuck lanes still stepping; see snapshot)" % total_steps,
+            steps=total_steps,
+            snapshot=snapshot,
+        )
 
     @staticmethod
     def _snapshot(sms):

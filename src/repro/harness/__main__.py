@@ -13,6 +13,10 @@ Usage::
     python -m repro.harness trace km --variant hv-sorting --quick
     python -m repro.harness fuzz --workload ra --variant all --seeds 8 \\
         --policy random --policy adversarial --jobs 4 --out fuzz-artifacts
+    python -m repro.harness inject --mutants all \\
+        --checkers oracle,sanitizer,fuzzer --jobs 4 --out fault-artifacts
+    python -m repro.harness sanitize --workload ra --variant all \\
+        --fault "clock_skew:region=g_clock,count=2"
 
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
 independent runs of each sweep out over N worker processes; results are
@@ -37,6 +41,22 @@ The ``fuzz`` target runs the schedule-exploration fuzzer
 variant, every commit history checked by the strict-serializability
 oracle, failing schedules shrunk and written under ``--out``.  Exit code
 is 1 when any schedule produced a violation.
+
+The ``inject`` target runs the mutant-efficacy campaign
+(:mod:`repro.faults.campaign`): each seeded protocol bug of
+:data:`repro.faults.mutants.MUTANTS` under each checker, plus unmutated
+baselines.  The JSON matrix lands at ``<out>/efficacy_matrix.json``; exit
+code is 1 unless every mutant was caught and every baseline stayed clean.
+
+The ``sanitize`` target runs one workload per variant with the online
+:class:`~repro.faults.sanitizer.StmSanitizer` bound, optionally under
+injected faults (``--fault SPEC``, repeatable; see
+:meth:`repro.faults.plan.FaultSpec.parse`).  The first violation is
+printed and the exit code is 1 when any variant failed.
+
+Artifact-producing targets (``trace``) validate what they wrote with
+:mod:`repro.telemetry.validate` and exit non-zero on the first invalid
+artifact.
 """
 
 import argparse
@@ -78,7 +98,7 @@ def run_fuzz(args, jobs):
             args.workload,
             params,
             variant,
-            seeds=args.seeds,
+            seeds=args.seeds if args.seeds is not None else 8,
             policies=policies,
             jobs=jobs,
             artifact_dir=args.out,
@@ -102,6 +122,84 @@ def run_fuzz(args, jobs):
         registry.write_json(args.metrics)
         print("[metrics -> %s]" % args.metrics)
     return 1 if failed else 0
+
+
+def run_inject(args, jobs):
+    """Drive the mutant-efficacy campaign; returns an exit code."""
+    # imported here: the figure targets must not pay for the faults stack
+    import json
+
+    from repro.faults.campaign import run_campaign, render_matrix
+
+    mutants = None
+    if args.mutants != "all":
+        mutants = [name.strip() for name in args.mutants.split(",") if name.strip()]
+    checkers = [c.strip() for c in args.checkers.split(",") if c.strip()]
+    out_dir = args.out or "fault-artifacts"
+    os.makedirs(out_dir, exist_ok=True)
+    seeds = args.seeds if args.seeds is not None else 2
+
+    started = time.time()
+    matrix = run_campaign(
+        mutants=mutants,
+        checkers=checkers,
+        jobs=jobs,
+        workload=args.workload,
+        include_baselines=not args.no_baselines,
+        seeds=seeds,
+    )
+    print(render_matrix(matrix))
+    matrix_path = os.path.join(out_dir, "efficacy_matrix.json")
+    with open(matrix_path, "w") as handle:
+        json.dump(matrix, handle, indent=2, sort_keys=True)
+    print("[matrix -> %s]" % matrix_path)
+    print("[inject %d mutant(s) x %d checker(s) in %.1fs, jobs=%d]"
+          % (len(matrix["mutants"]), len(checkers), time.time() - started, jobs))
+    return 0 if matrix["ok"] else 1
+
+
+def run_sanitize(args):
+    """Run workloads under the online sanitizer; returns an exit code."""
+    from repro.sched.explore import run_under_schedule
+    from repro.stm import STM_VARIANTS
+
+    variants = STM_VARIANTS if args.variant == "all" else [args.variant]
+    params = configs.test_workload_params(args.workload)
+    failed = False
+    for variant in variants:
+        outcome = run_under_schedule(
+            args.workload,
+            params,
+            variant,
+            sanitize=True,
+            fault_plan=args.fault or None,
+        )
+        status = "clean" if outcome.ok else "FAIL[%s]" % outcome.failure
+        print("sanitize %s/%s: %s (%d commits, %d aborts, %d fault(s) fired)"
+              % (args.workload, variant, status, outcome.commits,
+                 outcome.aborts, len(outcome.fired)))
+        if not outcome.ok:
+            failed = True
+            if outcome.violations:
+                first = outcome.violations[0]
+                print("  first violation: %(check)s (tid=%(tid)s addr=%(addr)s): "
+                      "%(detail)s" % first)
+            elif outcome.detail:
+                print("  %s" % outcome.detail.splitlines()[0])
+    return 1 if failed else 0
+
+
+def _validate_artifacts(paths):
+    """Validate telemetry artifacts; print the first failure, return 0/1."""
+    from repro.telemetry.validate import validate_file
+
+    for path in paths:
+        try:
+            validate_file(path)
+        except (OSError, ValueError) as exc:
+            print("ARTIFACT INVALID %s: %s" % (path, exc), file=sys.stderr)
+            return 1
+    return 0
 
 
 def _trace_workload(args, out_dir):
@@ -169,7 +267,12 @@ def run_trace(args, jobs, parser):
     print("[metrics -> %s]" % metrics_path)
     print("[trace %s in %.1fs, artifacts in %s]"
           % (args.experiment, time.time() - started, out_dir))
-    return 0
+    artifacts = [metrics_path] + sorted(
+        os.path.join(out_dir, name)
+        for name in os.listdir(out_dir)
+        if name.endswith(".trace.json")
+    )
+    return _validate_artifacts(artifacts)
 
 
 def main(argv=None):
@@ -178,7 +281,10 @@ def main(argv=None):
         description="Regenerate the paper's evaluation tables and figures, "
         "record telemetry timelines, or fuzz schedule interleavings.",
     )
-    parser.add_argument("target", choices=sorted(TARGETS) + ["all", "fuzz", "trace"])
+    parser.add_argument(
+        "target",
+        choices=sorted(TARGETS) + ["all", "fuzz", "trace", "inject", "sanitize"],
+    )
     parser.add_argument(
         "experiment", nargs="?", default=None,
         help="for the trace target: a figure/table name or a workload name",
@@ -213,8 +319,9 @@ def main(argv=None):
         "(default; trace reads it as 'optimized')",
     )
     fuzz_group.add_argument(
-        "--seeds", type=int, default=8, metavar="N",
-        help="seeds per seeded policy template (default: 8)",
+        "--seeds", type=int, default=None, metavar="N",
+        help="seeds per seeded policy template (default: 8 for fuzz, "
+        "2 for inject's fuzzer checker)",
     )
     fuzz_group.add_argument(
         "--policy", action="append", metavar="SPEC",
@@ -224,7 +331,26 @@ def main(argv=None):
     fuzz_group.add_argument(
         "--out", default=None, metavar="DIR",
         help="artifact directory: failing schedules for fuzz, timeline "
-        "traces for trace (default: trace-artifacts)",
+        "traces for trace (default: trace-artifacts), efficacy matrix "
+        "for inject (default: fault-artifacts)",
+    )
+    fault_group = parser.add_argument_group("inject / sanitize targets")
+    fault_group.add_argument(
+        "--mutants", default="all", metavar="NAMES",
+        help="comma-separated mutant names for inject, or 'all' (default)",
+    )
+    fault_group.add_argument(
+        "--checkers", default="oracle,sanitizer,fuzzer", metavar="NAMES",
+        help="comma-separated checker subset for inject "
+        "(default: oracle,sanitizer,fuzzer)",
+    )
+    fault_group.add_argument(
+        "--no-baselines", action="store_true",
+        help="inject: skip the unmutated false-positive baseline runs",
+    )
+    fault_group.add_argument(
+        "--fault", action="append", metavar="SPEC",
+        help="sanitize: fault spec 'kind:key=value,...' to inject; repeatable",
     )
     args = parser.parse_args(argv)
     jobs = args.jobs if args.jobs is not None else default_jobs()
@@ -237,6 +363,10 @@ def main(argv=None):
         return run_fuzz(args, jobs)
     if args.target == "trace":
         return run_trace(args, jobs, parser)
+    if args.target == "inject":
+        return run_inject(args, jobs)
+    if args.target == "sanitize":
+        return run_sanitize(args)
 
     registry = None
     if args.metrics:

@@ -70,6 +70,8 @@ def run_workload(
     check_oracle=False,
     allow_crash=False,
     telemetry=None,
+    sanitizer=None,
+    fault_plan=None,
 ):
     """Set up ``workload`` on a fresh device, run all its kernels under the
     STM ``variant``, verify, and return a :class:`RunResult`.
@@ -83,6 +85,14 @@ def run_workload(
     runtime publishes its counter bag and gauges after the run, and — when
     the session records a timeline — it is installed as the runtime's
     tracer so abort reasons and commit versions reach the trace.
+
+    ``sanitizer`` (a :class:`~repro.faults.sanitizer.StmSanitizer`) is
+    bound to the runtime so the online invariant checks run alongside the
+    workload; its at-exit checks run after the last kernel.  ``fault_plan``
+    (a :class:`~repro.faults.plan.FaultPlan`) is armed on the device after
+    workload setup so region-relative fault addresses resolve.  Neither
+    can be combined with a timeline-recording telemetry session (both own
+    the thread-context factory).
     """
     device = Device(gpu_config, telemetry=telemetry)
     workload.setup(device)
@@ -95,6 +105,10 @@ def run_workload(
     runtime = make_runtime(variant, device, config)
     if telemetry is not None and runtime.tracer is None:
         runtime.tracer = telemetry
+    if sanitizer is not None:
+        sanitizer.bind(runtime)
+    if fault_plan is not None:
+        fault_plan.arm(device)
 
     result = RunResult(workload.name, variant)
     initial = list(device.mem.words) if check_oracle else None
@@ -124,6 +138,8 @@ def run_workload(
     in_tx = sum(k.thread_cycles_in_tx for k in result.kernel_results)
     result.tx_time_fraction = in_tx / total if total else 0.0
     _publish_run(telemetry, runtime, result, device)
+    if sanitizer is not None:
+        sanitizer.check_kernel_exit()
 
     if verify:
         workload.verify(device, runtime)

@@ -16,7 +16,7 @@ it.
 
 from repro.gpu import Device
 from repro.gpu.config import GpuConfig
-from repro.gpu.errors import ProgressError
+from repro.gpu.errors import LivelockError, ProgressError
 from repro.sched.policy import make_policy
 from repro.stm import StmConfig, make_runtime
 from repro.stm.oracle import SerializabilityViolation, check_history
@@ -47,10 +47,14 @@ class ScheduleOutcome:
     """Everything observed from one scheduled run (plain, picklable data).
 
     ``failure`` is ``None`` for a clean run, ``"serializability"`` when
-    :func:`check_history` rejected the commit history, or ``"progress"``
-    when the watchdog tripped.  ``traces`` holds one recorded-schedule dict
-    per kernel launch (the last one possibly partial on a progress
-    failure).
+    :func:`check_history` rejected the commit history, ``"progress"``
+    when the watchdog tripped, or ``"sanitizer"`` when the run completed
+    and serialized correctly but the online invariant checker (enabled
+    with ``sanitize=True``) recorded violations.  ``traces`` holds one
+    recorded-schedule dict per kernel launch (the last one possibly
+    partial on a progress failure).  ``livelock`` narrows a progress
+    failure: True when the watchdog classified it as livelock (all stuck
+    lanes still stepping) rather than suspected deadlock.
     """
 
     __slots__ = (
@@ -68,6 +72,9 @@ class ScheduleOutcome:
         "ledger_summary",
         "ledger_rows",
         "final_words",
+        "violations",
+        "fired",
+        "livelock",
     )
 
     def __init__(self, workload, variant, policy):
@@ -85,6 +92,9 @@ class ScheduleOutcome:
         self.ledger_summary = ""
         self.ledger_rows = []
         self.final_words = None
+        self.violations = []
+        self.fired = []
+        self.livelock = False
 
     @property
     def ok(self):
@@ -124,6 +134,8 @@ def run_under_schedule(
     capture_memory=False,
     ledger_capacity=4096,
     runtime_factory=None,
+    sanitize=False,
+    fault_plan=None,
 ):
     """Execute ``workload_name`` under ``variant`` with a given schedule.
 
@@ -139,8 +151,17 @@ def run_under_schedule(
     the final memory image into ``final_words`` (the replay-determinism
     tests compare it).
 
+    ``sanitize=True`` binds a :class:`~repro.faults.sanitizer.StmSanitizer`
+    to the runtime; its violations land in ``outcome.violations`` and, if
+    the run was otherwise clean, set ``failure="sanitizer"``.
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan` or an iterable
+    of spec strings) is armed on the device after workload setup, so
+    region-relative fault addresses resolve; the faults that actually
+    fired land in ``outcome.fired``.
+
     Returns a :class:`ScheduleOutcome`; never raises for the failure modes
-    the fuzzer hunts (oracle violations, watchdog trips).
+    the fuzzer hunts (oracle violations, watchdog trips, sanitizer
+    reports).
     """
     gpu_config = gpu or explore_gpu()
     if gpu_overrides:
@@ -162,6 +183,23 @@ def run_under_schedule(
     runtime = factory(variant, device, stm_config)
     tracer = TxTracer(capacity=ledger_capacity)
     runtime.tracer = tracer
+
+    sanitizer = None
+    if sanitize:
+        # imported lazily: repro.sched must stay importable without the
+        # faults package (and vice versa — campaign.py imports this module)
+        from repro.faults.sanitizer import StmSanitizer
+
+        sanitizer = StmSanitizer().bind(runtime)
+    injector = None
+    if fault_plan is not None:
+        from repro.faults.plan import FaultPlan
+
+        if not isinstance(fault_plan, FaultPlan):
+            fault_plan = FaultPlan(fault_plan)
+        # armed after setup: the runtime's metadata regions now exist, so
+        # region-relative fault addresses resolve
+        injector = fault_plan.arm(device)
 
     specs = list(workload.kernels())
     if isinstance(policy, (list, tuple)):
@@ -198,6 +236,7 @@ def run_under_schedule(
     except ProgressError as exc:
         outcome.failure = "progress"
         outcome.detail = str(exc)
+        outcome.livelock = isinstance(exc, LivelockError)
         outcome.steps += exc.steps
         partial = getattr(exc, "schedule_trace", None)
         if partial is not None:
@@ -208,6 +247,18 @@ def run_under_schedule(
         except SerializabilityViolation as exc:
             outcome.failure = "serializability"
             outcome.detail = str(exc)
+        if sanitizer is not None:
+            # exit-state invariants only make sense after a completed run;
+            # a watchdog trip leaves locks legitimately mid-flight
+            sanitizer.check_kernel_exit()
+
+    if sanitizer is not None:
+        outcome.violations = [v.as_dict() for v in sanitizer.violations]
+        if outcome.failure is None and not sanitizer.ok:
+            outcome.failure = "sanitizer"
+            outcome.detail = sanitizer.report().splitlines()[0]
+    if injector is not None:
+        outcome.fired = list(injector.fired)
 
     outcome.commits = runtime.stats["commits"]
     outcome.aborts = runtime.stats["aborts"]

@@ -68,6 +68,9 @@ class TmRuntime:
         self.threads = []
         # optional TxTracer (repro.stm.trace): commit/abort event stream
         self.tracer = None
+        # optional StmSanitizer (repro.faults.sanitizer): online invariant
+        # checker fed the same commit/abort events plus read-barrier probes
+        self.sanitizer = None
 
     def attach(self, tc):
         """Install this runtime's per-thread transaction state on ``tc``.
@@ -89,6 +92,8 @@ class TmRuntime:
         self.stats.add("commits")
         if self.tracer is not None:
             self.tracer.on_commit(tx, version)
+        if self.sanitizer is not None:
+            self.sanitizer.on_commit(tx, version)
         if self.record_history:
             self.history.append(
                 CommitRecord(
@@ -104,6 +109,8 @@ class TmRuntime:
         self.stats.add("aborts.%s" % reason)
         if self.tracer is not None and tx is not None:
             self.tracer.on_abort(tx, reason)
+        if self.sanitizer is not None and tx is not None:
+            self.sanitizer.on_abort(tx, reason)
 
     def abort_rate(self):
         """Aborted attempts / started attempts."""
@@ -162,3 +169,15 @@ class TxThread:
     def write_entries(self):
         """Iterable of (addr, value) speculative writes (for history)."""
         return ()
+
+    def _note_real_read(self, addr):
+        """Tell the sanitizer a *real* global read served this tx_read.
+
+        Write-buffering runtimes call this right after the global read of
+        their read barrier (never on the write-set fast path); the
+        sanitizer flags reads that should have been served from the
+        transaction's own write buffer.  No-op without a sanitizer.
+        """
+        sanitizer = self.runtime.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_tx_read(self, addr)

@@ -192,6 +192,7 @@ class EgpgvTx(TxThread):
             return 0
         value = tc.gread(addr, Phase.NATIVE)
         yield
+        self._note_real_read(addr)
         self.reads.append(tc, addr, value, Phase.BUFFERING)
         return value
 

@@ -185,6 +185,7 @@ class LockSortingTx(TxThread):
                 return self.writes.get(addr)
         value = tc.gread(addr, Phase.NATIVE)
         yield
+        self._note_real_read(addr)
         self.reads.append(tc, addr, value, Phase.BUFFERING)
         tc.fence(Phase.CONSISTENCY)
         yield

@@ -127,6 +127,7 @@ class VbvTx(TxThread):
                 runtime.stats.add("postvalidation_failures")
                 return value
             self.snapshot = seq
+        self._note_real_read(addr)
         self.reads.append(tc, addr, value, Phase.BUFFERING)
         return value
 

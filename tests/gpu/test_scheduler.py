@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu import Device, GpuConfig, ProgressError
+from repro.gpu import Device, GpuConfig, LivelockError, ProgressError
 from repro.gpu.config import CostModel, small_config
 from repro.gpu.errors import LaunchError
 
@@ -76,7 +76,9 @@ class TestLaunch:
 
 
 class TestWatchdog:
-    def test_infinite_spin_raises_progress_error(self):
+    def test_infinite_spin_raises_livelock_error(self):
+        """All stuck lanes are actively stepping: the watchdog classifies
+        the trip as livelock (still a ProgressError for old callers)."""
         dev = Device(small_config(warp_size=2, max_steps=1000))
 
         def kernel(tc):
@@ -84,10 +86,31 @@ class TestWatchdog:
                 tc.work(1)
                 yield
 
-        with pytest.raises(ProgressError) as exc:
+        with pytest.raises(LivelockError) as exc:
             dev.launch(kernel, 1, 2)
+        assert isinstance(exc.value, ProgressError)
+        assert "livelock" in str(exc.value)
         assert exc.value.steps > 1000
         assert exc.value.snapshot["live_warps"]
+
+    def test_parked_lane_trip_is_deadlock_not_livelock(self):
+        """A lane parked at a reconvergence point means blocked, not
+        spinning: the trip keeps the base ProgressError class."""
+        dev = Device(small_config(warp_size=2, num_sms=1, max_steps=500))
+
+        def kernel(tc):
+            if tc.lane_id == 0:
+                yield from tc.reconverge("stuck")
+            else:
+                while True:
+                    tc.work(1)
+                    yield
+
+        with pytest.raises(ProgressError) as exc:
+            dev.launch(kernel, 1, 2)
+        assert not isinstance(exc.value, LivelockError)
+        assert "deadlock" in str(exc.value)
+        assert exc.value.snapshot["live_warps"][0]["waiting"] == {0: "stuck"}
 
     def test_snapshot_names_live_warps(self):
         dev = Device(small_config(warp_size=2, max_steps=500))

@@ -74,15 +74,16 @@ class TestRunJobs:
         ]
 
     def test_worker_crash_is_captured_not_raised(self):
-        # max_steps=50 trips the watchdog (ProgressError) inside the worker;
-        # the sibling job must still complete
+        # max_steps=50 trips the watchdog inside the worker (classified as
+        # livelock: the cut-short lanes were all still stepping); the
+        # sibling job must still complete
         specs = [
             _ra_spec("doomed", gpu_overrides=dict(max_steps=50)),
             _ra_spec("fine"),
         ]
         doomed, fine = run_jobs(specs, jobs=1)
         assert doomed.failed
-        assert "ProgressError" in doomed.error
+        assert "LivelockError" in doomed.error
         with pytest.raises(RuntimeError, match="doomed"):
             doomed.unwrap()
         assert not fine.failed

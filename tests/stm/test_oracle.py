@@ -64,6 +64,74 @@ class TestOracleAccepts:
         assert check_history(history, initial, mem) == 2
 
 
+class TestSerializationTies:
+    """Tie-break edge cases at shared serialization points.
+
+    A writer serializes *at* its commit version; a read-only transaction
+    with snapshot v serializes just *after* writer v.  These pin the
+    tie-break direction and the own-write replay rule the direct-update
+    runtimes (CGL) rely on.
+    """
+
+    def test_read_only_at_snapshot_v_must_see_writer_v(self):
+        """The tie-break is not optional: a read-only tx carrying snapshot
+        v that still observed the pre-writer-v value is a violation."""
+        initial = [10]
+        history = [
+            CommitRecord(0, 1, reads=[], writes={0: 11}),
+            # snapshot version 1, but the read predates writer 1's update
+            CommitRecord(1, 1, reads=[(0, 10)], writes={}),
+        ]
+        mem = make_mem([11])
+        with pytest.raises(SerializabilityViolation, match="read addr"):
+            check_history(history, initial, mem)
+
+    def test_read_only_between_adjacent_writers(self):
+        """Snapshot v sits strictly between writer v and writer v+1."""
+        initial = [10]
+        history = [
+            CommitRecord(0, 1, reads=[], writes={0: 11}),
+            CommitRecord(2, 1, reads=[(0, 11)], writes={}),
+            CommitRecord(1, 2, reads=[], writes={0: 12}),
+        ]
+        mem = make_mem([12])
+        assert check_history(history, initial, mem) == 3
+
+    def test_two_read_only_txs_share_a_snapshot(self):
+        initial = [10]
+        history = [
+            CommitRecord(0, 1, reads=[], writes={0: 11}),
+            CommitRecord(1, 1, reads=[(0, 11)], writes={}),
+            CommitRecord(2, 1, reads=[(0, 11)], writes={}),
+        ]
+        mem = make_mem([11])
+        assert check_history(history, initial, mem) == 3
+
+    def test_cgl_read_after_own_write_replay(self):
+        """CGL re-reads an address it already wrote in the same
+        transaction: the first read observes the serialized state, the
+        second its own in-place write.  Both are legitimate."""
+        initial = [10, 20]
+        history = [
+            CommitRecord(
+                0, 1,
+                reads=[(0, 10), (0, 99), (1, 20)],
+                writes={0: 99},
+            ),
+        ]
+        mem = make_mem([99, 20])
+        assert check_history(history, initial, mem) == 1
+
+    def test_own_write_excuse_requires_matching_value(self):
+        """A mismatched read is not excused merely because the address is
+        in the write set — the observed value must BE the own write."""
+        initial = [10]
+        history = [CommitRecord(0, 1, reads=[(0, 55)], writes={0: 99})]
+        mem = make_mem([99])
+        with pytest.raises(SerializabilityViolation, match="read addr"):
+            check_history(history, initial, mem)
+
+
 class TestOracleRejects:
     def test_stale_read(self):
         initial = [10]
