@@ -71,12 +71,14 @@ def main(argv=None):
     }
 
     if args.update:
+        from repro.common.fsio import atomic_write_json
+
         payload = {
             "comment": "best-of-%d steps/sec per case at configs.test_workload_params "
                        "geometry; refresh with --update" % args.repeat,
             "benchmarks": current,
         }
-        BASELINE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        atomic_write_json(str(BASELINE_PATH), payload)
         print("baseline written to %s" % BASELINE_PATH)
         return 0
 

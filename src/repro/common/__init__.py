@@ -1,6 +1,14 @@
-"""Shared utilities: deterministic RNG and statistics containers."""
+"""Shared utilities: deterministic RNG, statistics, crash-consistent IO."""
 
+from repro.common.fsio import atomic_open, atomic_write_json, atomic_write_text
 from repro.common.rng import Xorshift32
 from repro.common.stats import Counters, PhaseCycles
 
-__all__ = ["Xorshift32", "Counters", "PhaseCycles"]
+__all__ = [
+    "Xorshift32",
+    "Counters",
+    "PhaseCycles",
+    "atomic_open",
+    "atomic_write_json",
+    "atomic_write_text",
+]

@@ -1,0 +1,71 @@
+"""Crash-consistent file writes for the harness's JSON/CSV artifacts.
+
+Every artifact the harness produces (metric registries, Chrome-trace
+timelines, failing-schedule dumps, efficacy matrices, sweep journals) may
+be the only evidence left after a worker or the whole sweep dies.  A plain
+``open(path, "w")`` that is interrupted mid-write leaves a truncated file
+that *looks* like an artifact but no longer parses — worse than no file at
+all, because downstream tooling (resume, CI artifact validation) trusts
+what it finds on disk.
+
+:func:`atomic_open` gives every writer the standard fix: write into a
+temporary file in the same directory, flush + ``fsync``, then ``os.replace``
+onto the destination.  ``os.replace`` is atomic on POSIX and Windows, so a
+reader — or a resumed sweep — observes either the old complete file or the
+new complete file, never a torn one.  If the writing block raises, the
+destination is untouched and the temporary file is removed.
+"""
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+
+
+@contextmanager
+def atomic_open(path, mode="w", newline=None):
+    """Context manager yielding a handle whose contents atomically replace
+    ``path`` on successful exit.
+
+    The temporary file lives in ``path``'s directory so the final
+    ``os.replace`` never crosses a filesystem boundary.  On an exception
+    inside the block the temporary file is deleted and ``path`` keeps its
+    previous contents (or keeps not existing).
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError("atomic_open only writes; got mode %r" % mode)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, mode, newline=newline) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path, text):
+    """Atomically replace ``path`` with ``text``; returns ``path``."""
+    with atomic_open(path) as handle:
+        handle.write(text)
+    return path
+
+
+def atomic_write_json(path, payload, indent=2, sort_keys=True):
+    """Atomically replace ``path`` with ``payload`` as JSON; returns ``path``.
+
+    A trailing newline is always written so the artifacts stay friendly to
+    line-oriented tools (``cat``, ``diff``, CI log tails).
+    """
+    with atomic_open(path) as handle:
+        json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
+        handle.write("\n")
+    return path

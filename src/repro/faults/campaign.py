@@ -180,13 +180,20 @@ def run_campaign(
     workload="ra",
     include_baselines=True,
     seeds=2,
+    supervise=None,
+    journal=None,
+    metrics=None,
 ):
     """Run the mutant x checker campaign; returns the efficacy matrix dict.
 
     ``mutants`` is an iterable of mutant names (default: the whole corpus);
     ``checkers`` any subset of :data:`CHECKERS`; ``jobs`` the process-pool
     width handed to :func:`~repro.harness.parallel.run_jobs`; ``seeds`` the
-    per-fuzzer-job schedule count.
+    per-fuzzer-job schedule count.  ``supervise``/``journal``/``metrics``
+    route the campaign through the supervision layer (timeouts, retries,
+    checkpoint/resume; see docs/resilience.md) — ``CampaignJob`` exposes
+    its state through ``__slots__``, so journal fingerprints cover every
+    field of the job.
 
     The matrix's ``ok`` is True iff every mutant was detected by at least
     one checker on at least one of its variants **and** every baseline
@@ -208,7 +215,10 @@ def run_campaign(
         )
 
     specs = _campaign_jobs(names, checkers, workload, seeds, include_baselines)
-    results = run_jobs(specs, jobs=jobs, executor=execute_campaign_job)
+    results = run_jobs(
+        specs, jobs=jobs, executor=execute_campaign_job,
+        supervise=supervise, journal=journal, metrics=metrics,
+    )
 
     matrix = {
         "workload": workload,
@@ -227,6 +237,23 @@ def run_campaign(
             "detected": False,
         }
     for spec, result in zip(specs, results):
+        if not isinstance(result, dict):
+            # a supervised campaign can yield a structured JobResult
+            # failure (wall timeout, lost worker) in place of the
+            # executor's dict; fold it in as an error cell — detected
+            # with error set, so a mutant is not silently "caught" and a
+            # baseline poisons ``ok`` instead of hiding the problem
+            brief = getattr(result, "brief_error", None)
+            detail = brief() if brief is not None else repr(result)
+            result = {
+                "mutant": spec.mutant,
+                "variant": spec.variant,
+                "checker": spec.checker,
+                "detected": True,
+                "detail": detail,
+                "livelock": False,
+                "error": detail,
+            }
         if spec.mutant is None:
             cell = matrix["baselines"].setdefault(spec.variant, {})
             cell[spec.checker] = result

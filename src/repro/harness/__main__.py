@@ -17,6 +17,9 @@ Usage::
         --checkers oracle,sanitizer,fuzzer --jobs 4 --out fault-artifacts
     python -m repro.harness sanitize --workload ra --variant all \\
         --fault "clock_skew:region=g_clock,count=2"
+    python -m repro.harness fig2 --quick --jobs 4 --retries 2 \\
+        --timeout 300 --resume out/fig2.journal
+    python -m repro.harness chaos --jobs 2 --out chaos-artifacts
 
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
 independent runs of each sweep out over N worker processes; results are
@@ -57,6 +60,21 @@ printed and the exit code is 1 when any variant failed.
 Artifact-producing targets (``trace``) validate what they wrote with
 :mod:`repro.telemetry.validate` and exit non-zero on the first invalid
 artifact.
+
+``--retries N`` / ``--timeout SECONDS`` / ``--resume PATH`` route the
+figure/table sweeps (and ``inject``) through the supervision layer
+(:mod:`repro.harness.supervisor`): bounded retry with backoff for
+transient failures, per-job wall-clock timeouts (``--jobs`` > 1), and a
+checkpoint journal at PATH so an interrupted sweep resumes where it
+stopped (``all`` suffixes the journal per target).  Jobs that still
+fail render as explicit FAILED gaps, a failure summary is printed, and
+the exit code is 1 — see ``docs/resilience.md``.
+
+The ``chaos`` target (:mod:`repro.harness.chaos`) is the supervision
+layer's own proving ground: a supervised happy-path sweep, a sweep with
+injected worker failures (error, SIGKILL, hang, armed fault), and a
+kill-and-resume round-trip, each checked bit-identical against an
+unsupervised reference run.  Exit code 1 when any phase fails.
 """
 
 import argparse
@@ -124,11 +142,36 @@ def run_fuzz(args, jobs):
     return 1 if failed else 0
 
 
+def _supervision_kwargs(args, target=None, multi_target=False):
+    """Supervision kwargs for a sweep, or ``{}`` when no flag asked for it.
+
+    Only non-empty when ``--retries``/``--timeout``/``--resume`` was
+    given: the figure drivers (and their test stubs) keep their original
+    signatures on the unsupervised path.  With multiple targets sharing
+    one ``--resume`` path, each target journals to ``PATH.<target>``.
+    """
+    kwargs = {}
+    if args.retries is not None or args.timeout is not None:
+        from repro.harness.supervisor import SupervisorConfig
+
+        config = SupervisorConfig()
+        if args.retries is not None:
+            config.max_retries = args.retries
+        if args.timeout is not None:
+            config.wall_timeout = args.timeout
+        kwargs["supervise"] = config
+    if args.resume:
+        path = args.resume
+        if multi_target and target:
+            path = "%s.%s" % (path, target)
+        kwargs["journal"] = path
+    return kwargs
+
+
 def run_inject(args, jobs):
     """Drive the mutant-efficacy campaign; returns an exit code."""
     # imported here: the figure targets must not pay for the faults stack
-    import json
-
+    from repro.common.fsio import atomic_write_json
     from repro.faults.campaign import run_campaign, render_matrix
 
     mutants = None
@@ -147,15 +190,31 @@ def run_inject(args, jobs):
         workload=args.workload,
         include_baselines=not args.no_baselines,
         seeds=seeds,
+        **_supervision_kwargs(args)
     )
     print(render_matrix(matrix))
     matrix_path = os.path.join(out_dir, "efficacy_matrix.json")
-    with open(matrix_path, "w") as handle:
-        json.dump(matrix, handle, indent=2, sort_keys=True)
+    atomic_write_json(matrix_path, matrix)
     print("[matrix -> %s]" % matrix_path)
     print("[inject %d mutant(s) x %d checker(s) in %.1fs, jobs=%d]"
           % (len(matrix["mutants"]), len(checkers), time.time() - started, jobs))
     return 0 if matrix["ok"] else 1
+
+
+def run_chaos(args, jobs):
+    """Drive the chaos harness; returns an exit code."""
+    # imported here: the figure targets must not pay for the chaos stack
+    from repro.harness.chaos import run_chaos as chaos_harness
+
+    started = time.time()
+    report = chaos_harness(
+        jobs=max(2, jobs),
+        out_dir=args.out or "chaos-artifacts",
+        wall_timeout=args.timeout if args.timeout is not None else 20.0,
+    )
+    print(report.render())
+    print("[chaos in %.1fs, jobs=%d]" % (time.time() - started, max(2, jobs)))
+    return 0 if report.ok else 1
 
 
 def run_sanitize(args):
@@ -283,7 +342,8 @@ def main(argv=None):
     )
     parser.add_argument(
         "target",
-        choices=sorted(TARGETS) + ["all", "fuzz", "trace", "inject", "sanitize"],
+        choices=sorted(TARGETS)
+        + ["all", "fuzz", "trace", "inject", "sanitize", "chaos"],
     )
     parser.add_argument(
         "experiment", nargs="?", default=None,
@@ -352,6 +412,23 @@ def main(argv=None):
         "--fault", action="append", metavar="SPEC",
         help="sanitize: fault spec 'kind:key=value,...' to inject; repeatable",
     )
+    resilience_group = parser.add_argument_group("resilience (supervision)")
+    resilience_group.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry transient job failures up to N times with backoff "
+        "(routes the sweep through the supervisor)",
+    )
+    resilience_group.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock timeout; the worker is killed and the "
+        "attempt retried as transient (needs --jobs > 1); for chaos: "
+        "the hung-worker reaping deadline (default 20)",
+    )
+    resilience_group.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="checkpoint journal: completed jobs are recorded at PATH and "
+        "skipped on re-run ('all' journals to PATH.<target>)",
+    )
     args = parser.parse_args(argv)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     if jobs < 1:
@@ -367,6 +444,8 @@ def main(argv=None):
         return run_inject(args, jobs)
     if args.target == "sanitize":
         return run_sanitize(args)
+    if args.target == "chaos":
+        return run_chaos(args, jobs)
 
     registry = None
     if args.metrics:
@@ -374,16 +453,30 @@ def main(argv=None):
 
         registry = MetricRegistry()
     names = sorted(TARGETS) if args.target == "all" else [args.target]
+    failures = []
     for name in names:
         started = time.time()
+        extra = _supervision_kwargs(args, target=name,
+                                    multi_target=len(names) > 1)
         with maybe_profile(args.profile, out_path=args.profile_out):
-            result = TARGETS[name](quick=args.quick, jobs=jobs, metrics=registry)
+            result = TARGETS[name](quick=args.quick, jobs=jobs,
+                                   metrics=registry, **extra)
         print(result.render())
         print("[%s regenerated in %.1fs, jobs=%d]" % (name, time.time() - started, jobs))
         print()
+        failures.extend(
+            (name, failure) for failure in getattr(result, "failures", ())
+        )
     if registry is not None:
         registry.write_json(args.metrics)
         print("[metrics -> %s]" % args.metrics)
+    if failures:
+        print("%d job(s) failed across %s:"
+              % (len(failures), ", ".join(names)), file=sys.stderr)
+        for name, failure in failures:
+            print("  %s %r: %s" % (name, failure.key, failure.brief()),
+                  file=sys.stderr)
+        return 1
     return 0
 
 

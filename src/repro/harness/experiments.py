@@ -45,22 +45,87 @@ def _params(name, quick):
     return _scaled(params, 4) if quick else params
 
 
-def _sweep(specs, jobs, metrics=None, timeline_dir=None):
+class _Gap:
+    """Sentinel for a table/figure cell whose job failed (distinct from
+    ``None``, which the figures use for a *simulated* crash)."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "GAP"
+
+
+GAP = _Gap()
+
+
+class SweepOutcomes(dict):
+    """``{spec key: JobResult}`` plus the sweep's failure roster.
+
+    ``run(key)`` is the degradation-aware accessor the drivers use in
+    place of ``outcomes[key].unwrap()``: a failed job yields ``None``
+    (the driver renders an explicit gap) instead of raising away the
+    rest of the figure.  ``failures`` lists every failed job's
+    :class:`~repro.harness.parallel.JobFailure` in spec order so the
+    drivers' render footers — and the CLI's exit code — can report them.
+    """
+
+    def __init__(self, results):
+        super().__init__((out.key, out) for out in results)
+        self.failures = []
+        for out in results:
+            if getattr(out, "failed", False):
+                failure = out.failure
+                if failure is None:
+                    from repro.harness.parallel import JobFailure
+
+                    failure = JobFailure(out.key, "error", "Error",
+                                         out.brief_error() or "unknown",
+                                         traceback=out.error)
+                self.failures.append(failure)
+
+    def run(self, key):
+        """The job's ``RunResult``, or ``None`` when the job failed."""
+        out = self[key]
+        if getattr(out, "failed", False):
+            return None
+        return out.run
+
+
+def _failures_note(failures):
+    """Render footer listing a sweep's failed jobs (empty when clean)."""
+    if not failures:
+        return ""
+    lines = ["", "%d job(s) failed; affected cells render as FAILED:"
+             % len(failures)]
+    for failure in failures:
+        lines.append("  - %r: %s" % (failure.key, failure.brief()))
+    return "\n".join(lines)
+
+
+def _sweep(specs, jobs, metrics=None, timeline_dir=None, supervise=None,
+           journal=None):
     """Run a sweep's spec list and key the results by spec key.
 
     ``metrics`` (a :class:`~repro.telemetry.MetricRegistry`) turns on
     per-worker telemetry and merges every worker's registry into it —
     the sweeps' single integration point with the telemetry layer.
     ``timeline_dir`` additionally records one Chrome-trace file per run.
+    ``supervise``/``journal`` route the sweep through the supervision
+    layer (timeouts, retry, checkpoint/resume — see docs/resilience.md);
+    the supervisor's ``supervisor.*`` counters land in ``metrics``.
     """
     if metrics is not None or timeline_dir is not None:
         for spec in specs:
             spec.telemetry = True
             spec.timeline_dir = timeline_dir
-    results = run_jobs(specs, jobs)
+    if supervise is not None or journal is not None:
+        results = run_jobs(specs, jobs, supervise=supervise, journal=journal,
+                           metrics=metrics)
+    else:
+        results = run_jobs(specs, jobs)
     if metrics is not None:
         merge_job_metrics(results, into=metrics)
-    return {out.key: out for out in results}
+    return SweepOutcomes(results)
 
 
 # ----------------------------------------------------------------------
@@ -68,8 +133,9 @@ def _sweep(specs, jobs, metrics=None, timeline_dir=None):
 # ----------------------------------------------------------------------
 class Fig2Result:
     def __init__(self):
-        self.speedups = {}  # workload -> {variant: speedup or None (crash)}
+        self.speedups = {}  # workload -> {variant: speedup, None (crash) or GAP}
         self.cycles = {}
+        self.failures = []
 
     def render(self):
         headers = ["workload"] + list(FIG2_VARIANTS)
@@ -78,7 +144,10 @@ class Fig2Result:
             row = [workload]
             for variant in FIG2_VARIANTS:
                 value = self.speedups[workload].get(variant)
-                row.append("crash" if value is None else "%.2fx" % value)
+                if value is GAP:
+                    row.append("FAILED")
+                else:
+                    row.append("crash" if value is None else "%.2fx" % value)
             rows.append(row)
         return render_table(
             "Figure 2: STM speedup over coarse-grained locking (CGL)",
@@ -86,10 +155,11 @@ class Fig2Result:
             rows,
             note="paper shape: optimized fastest-or-tied; VBV poor at scale; "
             "EGPGV constrained; KM does not benefit",
-        )
+        ) + _failures_note(self.failures)
 
 
-def fig2(quick=False, jobs=None, metrics=None, timeline_dir=None):
+def fig2(quick=False, jobs=None, metrics=None, timeline_dir=None,
+         supervise=None, journal=None):
     """Speedup of every STM variant over CGL on the five workloads."""
     specs = []
     for name in FIG2_WORKLOADS:
@@ -110,17 +180,22 @@ def fig2(quick=False, jobs=None, metrics=None, timeline_dir=None):
                     allow_crash=True,
                 )
             )
-    outcomes = _sweep(specs, jobs, metrics, timeline_dir)
+    outcomes = _sweep(specs, jobs, metrics, timeline_dir,
+                      supervise=supervise, journal=journal)
 
     result = Fig2Result()
+    result.failures = outcomes.failures
     for name in FIG2_WORKLOADS:
         result.speedups[name] = {}
         result.cycles[name] = {}
-        baseline = outcomes[(name, "cgl")].unwrap()
-        result.cycles[name]["cgl"] = baseline.cycles
+        baseline = outcomes.run((name, "cgl"))
+        if baseline is not None:
+            result.cycles[name]["cgl"] = baseline.cycles
         for variant in FIG2_VARIANTS:
-            run = outcomes[(name, variant)].unwrap()
-            if run.crashed:
+            run = outcomes.run((name, variant))
+            if run is None or baseline is None:
+                result.speedups[name][variant] = GAP
+            elif run.crashed:
                 result.speedups[name][variant] = None
             else:
                 result.cycles[name][variant] = run.cycles
@@ -135,13 +210,24 @@ class Fig3Result:
     def __init__(self, workload, thread_counts):
         self.workload = workload
         self.thread_counts = thread_counts
-        self.cycles = {}  # variant -> [cycles or None per thread count]
+        self.cycles = {}  # variant -> [cycles, None (crash) or GAP per count]
+        self.failures = []
 
     def normalized(self, variant):
         """Throughput speedup relative to the variant's smallest geometry."""
         series = self.cycles[variant]
-        base = next((c for c in series if c), None)
-        return [None if c is None else base / c for c in series]
+        base = next(
+            (c for c in series if c is not None and c is not GAP and c), None
+        )
+        out = []
+        for c in series:
+            if c is GAP:
+                out.append("FAILED")
+            elif c is None or base is None:
+                out.append(None)
+            else:
+                out.append(base / c)
+        return out
 
     def render(self):
         series = {v: self.normalized(v) for v in self.cycles}
@@ -151,14 +237,15 @@ class Fig3Result:
             "threads",
             self.thread_counts,
             series,
-        )
+        ) + _failures_note(self.failures)
 
 
 FIG3_VARIANTS = ("egpgv", "vbv", "tbv-sorting", "hv-backoff", "hv-sorting", "optimized")
 
 
 def fig3(workload_name="ra", thread_counts=(8, 32, 128, 512, 2048), total_txs=2048,
-         quick=False, jobs=None, metrics=None, timeline_dir=None):
+         quick=False, jobs=None, metrics=None, timeline_dir=None,
+         supervise=None, journal=None):
     """Fixed total work split over a swept number of threads.
 
     Reproduces: EGPGV crashes early (static per-block metadata), VBV
@@ -182,14 +269,19 @@ def fig3(workload_name="ra", thread_counts=(8, 32, 128, 512, 2048), total_txs=20
                     allow_crash=True,
                 )
             )
-    outcomes = _sweep(specs, jobs, metrics, timeline_dir)
+    outcomes = _sweep(specs, jobs, metrics, timeline_dir,
+                      supervise=supervise, journal=journal)
 
     result = Fig3Result(workload_name, list(thread_counts))
+    result.failures = outcomes.failures
     for variant in FIG3_VARIANTS:
         series = []
         for threads in thread_counts:
-            run = outcomes[(variant, threads)].unwrap()
-            series.append(None if run.crashed else run.cycles)
+            run = outcomes.run((variant, threads))
+            if run is None:
+                series.append(GAP)
+            else:
+                series.append(None if run.crashed else run.cycles)
         result.cycles[variant] = series
     return result
 
@@ -202,8 +294,16 @@ class Fig4Result:
         self.shared_sizes = shared_sizes
         self.lock_sizes = lock_sizes
         self.thread_counts = thread_counts
-        # (shared, locks, threads, scheme) -> (speedup_vs_cgl, abort_rate)
+        # (shared, locks, threads, scheme) -> (speedup_vs_cgl, abort_rate),
+        # or GAP when the point's job (or its CGL baseline) failed
         self.points = {}
+        self.failures = []
+
+    @staticmethod
+    def _cells(point):
+        if point is GAP:
+            return "FAILED", "FAILED"
+        return "%.2fx" % point[0], "%.0f%%" % (100 * point[1])
 
     def render(self):
         out = []
@@ -211,16 +311,20 @@ class Fig4Result:
             rows = []
             for locks in self.lock_sizes:
                 for threads in self.thread_counts:
-                    hv = self.points[(shared, locks, threads, "hv")]
-                    tbv = self.points[(shared, locks, threads, "tbv")]
+                    hv_speedup, hv_abort = self._cells(
+                        self.points[(shared, locks, threads, "hv")]
+                    )
+                    tbv_speedup, tbv_abort = self._cells(
+                        self.points[(shared, locks, threads, "tbv")]
+                    )
                     rows.append(
                         [
                             locks,
                             threads,
-                            "%.2fx" % hv[0],
-                            "%.2fx" % tbv[0],
-                            "%.0f%%" % (100 * hv[1]),
-                            "%.0f%%" % (100 * tbv[1]),
+                            hv_speedup,
+                            tbv_speedup,
+                            hv_abort,
+                            tbv_abort,
                         ]
                     )
             out.append(
@@ -232,7 +336,7 @@ class Fig4Result:
                     rows,
                 )
             )
-        return "\n\n".join(out)
+        return "\n\n".join(out) + _failures_note(self.failures)
 
 
 def fig4(
@@ -243,6 +347,8 @@ def fig4(
     jobs=None,
     metrics=None,
     timeline_dir=None,
+    supervise=None,
+    journal=None,
 ):
     """EigenBench sweep: HV vs TBV across shared-data and lock-table sizes.
 
@@ -272,19 +378,24 @@ def fig4(
                             variant, num_locks=locks,
                         )
                     )
-    outcomes = _sweep(specs, jobs, metrics, timeline_dir)
+    outcomes = _sweep(specs, jobs, metrics, timeline_dir,
+                      supervise=supervise, journal=journal)
 
     result = Fig4Result(list(shared_sizes), list(lock_sizes), list(thread_counts))
+    result.failures = outcomes.failures
     for shared in shared_sizes:
         for threads in thread_counts:
-            baseline = outcomes[("cgl", shared, threads)].unwrap()
+            baseline = outcomes.run(("cgl", shared, threads))
             for locks in lock_sizes:
                 for scheme in ("hv", "tbv"):
-                    run = outcomes[(shared, locks, threads, scheme)].unwrap()
-                    result.points[(shared, locks, threads, scheme)] = (
-                        baseline.cycles / run.cycles,
-                        run.abort_rate,
-                    )
+                    run = outcomes.run((shared, locks, threads, scheme))
+                    if run is None or baseline is None:
+                        result.points[(shared, locks, threads, scheme)] = GAP
+                    else:
+                        result.points[(shared, locks, threads, scheme)] = (
+                            baseline.cycles / run.cycles,
+                            run.abort_rate,
+                        )
     return result
 
 
@@ -305,16 +416,18 @@ FIG5_PHASES = (
 class Fig5Result:
     def __init__(self):
         self.rows = []  # (kernel label, {phase: fraction})
+        self.failures = []
 
     def render(self):
         return render_breakdown(
             "Figure 5: execution time breakdown under STM-Optimized",
             FIG5_PHASES,
             self.rows,
-        )
+        ) + _failures_note(self.failures)
 
 
-def fig5(quick=False, jobs=None, metrics=None, timeline_dir=None):
+def fig5(quick=False, jobs=None, metrics=None, timeline_dir=None,
+         supervise=None, journal=None):
     """Phase breakdown of GN-1, GN-2, LB and KM under STM-Optimized.
 
     Paper shape: GN-2 dominated by STM overhead (init/buffering); LB and KM
@@ -326,15 +439,19 @@ def fig5(quick=False, jobs=None, metrics=None, timeline_dir=None):
         JobSpec(name, name, _params(name, quick), "optimized")
         for name in ("gn", "lb", "km")
     ]
-    outcomes = _sweep(specs, jobs, metrics, timeline_dir)
+    outcomes = _sweep(specs, jobs, metrics, timeline_dir,
+                      supervise=supervise, journal=journal)
 
     result = Fig5Result()
-    gn = outcomes["gn"].unwrap()
-    result.rows.append(("GN-1", gn.kernel_results[0].phases.fractions()))
-    result.rows.append(("GN-2", gn.kernel_results[1].phases.fractions()))
+    result.failures = outcomes.failures
+    gn = outcomes.run("gn")
+    if gn is not None:
+        result.rows.append(("GN-1", gn.kernel_results[0].phases.fractions()))
+        result.rows.append(("GN-2", gn.kernel_results[1].phases.fractions()))
     for name, label in (("lb", "LB"), ("km", "KM")):
-        run = outcomes[name].unwrap()
-        result.rows.append((label, run.kernel_results[0].phases.fractions()))
+        run = outcomes.run(name)
+        if run is not None:
+            result.rows.append((label, run.kernel_results[0].phases.fractions()))
     return result
 
 
@@ -344,6 +461,7 @@ def fig5(quick=False, jobs=None, metrics=None, timeline_dir=None):
 class Table1Result:
     def __init__(self):
         self.rows = []  # dicts
+        self.failures = []
 
     def render(self):
         headers = [
@@ -361,20 +479,25 @@ class Table1Result:
         ]
         return render_table(
             "Table 1: transactional characteristics (measured)", headers, rows
-        )
+        ) + _failures_note(self.failures)
 
 
-def table1(quick=False, jobs=None, metrics=None, timeline_dir=None):
+def table1(quick=False, jobs=None, metrics=None, timeline_dir=None,
+           supervise=None, journal=None):
     """Measure the Table 1 columns for every workload under hv-sorting."""
     names = ("ra", "ht", "eb", "lb", "gn", "km")
     specs = [
         JobSpec(name, name, _params(name, quick), "hv-sorting") for name in names
     ]
-    outcomes = _sweep(specs, jobs, metrics, timeline_dir)
+    outcomes = _sweep(specs, jobs, metrics, timeline_dir,
+                      supervise=supervise, journal=journal)
 
     result = Table1Result()
+    result.failures = outcomes.failures
     for name in names:
-        run = outcomes[name].unwrap()
+        run = outcomes.run(name)
+        if run is None:
+            continue
         # shared_data_size is a property of the constructed workload, not of
         # the run; rebuild the (cheap) workload object to read it
         workload = make_workload(name, **_params(name, quick))
@@ -402,13 +525,14 @@ def table1(quick=False, jobs=None, metrics=None, timeline_dir=None):
 class Table2Result:
     def __init__(self):
         self.rows = []  # (workload, best_grid, best_block, cycles)
+        self.failures = []
 
     def render(self):
         return render_table(
             "Table 2: launch configuration where STM-Optimized is fastest",
             ["workload", "thread-blocks", "threads/block", "cycles"],
             [[w, g, b, c] for w, g, b, c in self.rows],
-        )
+        ) + _failures_note(self.failures)
 
 
 # ----------------------------------------------------------------------
@@ -421,38 +545,47 @@ class AblationResult:
         self.coalescing = {}    # coalesced vs scattered log cycles
         self.lock_attempts = {} # abort threshold sweep
         self.scheduler = {}     # warp-scheduling policy sensitivity
+        self.failures = []
 
     def render(self):
+        def fmt(template, *values):
+            if any(value is GAP for value in values):
+                return "FAILED"
+            return template % values
+
         rows = []
         rows.append(["lock-sorting off (crossed orders)",
                      "LIVELOCK (watchdog)" if self.sorting["unsorted_livelocks"] else "?"])
         rows.append(["lock-sorting on (same workload)",
                      "%d commits" % self.sorting["sorted_commits"]])
         rows.append(["lock-log: flat sorted list",
-                     "%d comparisons" % self.locklog["flat_comparisons"]])
+                     fmt("%d comparisons", self.locklog["flat_comparisons"])])
         rows.append(["lock-log: order-preserving hash",
-                     "%d comparisons (%.1fx fewer)"
-                     % (self.locklog["hashed_comparisons"], self.locklog["ratio"])])
+                     fmt("%d comparisons (%.1fx fewer)",
+                         self.locklog["hashed_comparisons"], self.locklog["ratio"])])
         rows.append(["coalesced read-/write-set logs",
-                     "%d cycles" % self.coalescing["coalesced_cycles"]])
+                     fmt("%d cycles", self.coalescing["coalesced_cycles"])])
         rows.append(["scattered logs",
-                     "%d cycles (%.2fx slower)"
-                     % (self.coalescing["scattered_cycles"], self.coalescing["ratio"])])
-        for attempts, (cycles, abort_rate) in sorted(self.lock_attempts.items()):
+                     fmt("%d cycles (%.2fx slower)",
+                         self.coalescing["scattered_cycles"], self.coalescing["ratio"])])
+        for attempts, value in sorted(self.lock_attempts.items()):
             rows.append(["max lock attempts = %d" % attempts,
-                         "%d cycles, %.0f%% aborts" % (cycles, 100 * abort_rate)])
-        for turn, (cycles, abort_rate) in sorted(self.scheduler.items()):
+                         "FAILED" if value is GAP
+                         else "%d cycles, %.0f%% aborts" % (value[0], 100 * value[1])])
+        for turn, value in sorted(self.scheduler.items()):
             rows.append(["warp scheduler: %d-step turns" % turn,
-                         "%d cycles, %.0f%% aborts" % (cycles, 100 * abort_rate)])
+                         "FAILED" if value is GAP
+                         else "%d cycles, %.0f%% aborts" % (value[0], 100 * value[1])])
         return render_table(
             "Ablations: encounter-time sorting, hashed lock-log, coalesced "
             "logs, lock-attempt threshold",
             ["design point", "outcome"],
             rows,
-        )
+        ) + _failures_note(self.failures)
 
 
-def ablations(quick=False, jobs=None, metrics=None, timeline_dir=None):
+def ablations(quick=False, jobs=None, metrics=None, timeline_dir=None,
+              supervise=None, journal=None):
     """Isolate the paper's design decisions one at a time."""
     from repro.gpu import Device, ProgressError
     from repro.gpu.config import GpuConfig
@@ -518,35 +651,46 @@ def ablations(quick=False, jobs=None, metrics=None, timeline_dir=None):
                 gpu_overrides=dict(warp_steps_per_turn=turn),
             )
         )
-    outcomes = _sweep(specs, jobs, metrics, timeline_dir)
+    outcomes = _sweep(specs, jobs, metrics, timeline_dir,
+                      supervise=supervise, journal=journal)
 
+    result.failures = outcomes.failures
     for label in ("flat", "hashed"):
-        run = outcomes[("locklog", label)].unwrap()
-        result.locklog["%s_comparisons" % label] = run.stats.get(
-            "locklog_comparisons", 0
+        run = outcomes.run(("locklog", label))
+        result.locklog["%s_comparisons" % label] = (
+            GAP if run is None else run.stats.get("locklog_comparisons", 0)
         )
-    flat = max(result.locklog["flat_comparisons"], 1)
-    hashed = max(result.locklog["hashed_comparisons"], 1)
-    result.locklog["ratio"] = flat / hashed
+    flat = result.locklog["flat_comparisons"]
+    hashed = result.locklog["hashed_comparisons"]
+    if flat is GAP or hashed is GAP:
+        result.locklog["ratio"] = GAP
+    else:
+        result.locklog["ratio"] = max(flat, 1) / max(hashed, 1)
 
     for label in ("coalesced", "scattered"):
-        run = outcomes[("coalescing", label)].unwrap()
-        result.coalescing["%s_cycles" % label] = run.cycles
-    result.coalescing["ratio"] = (
-        result.coalescing["scattered_cycles"] / result.coalescing["coalesced_cycles"]
-    )
+        run = outcomes.run(("coalescing", label))
+        result.coalescing["%s_cycles" % label] = GAP if run is None else run.cycles
+    coalesced = result.coalescing["coalesced_cycles"]
+    scattered = result.coalescing["scattered_cycles"]
+    if coalesced is GAP or scattered is GAP:
+        result.coalescing["ratio"] = GAP
+    else:
+        result.coalescing["ratio"] = scattered / coalesced
 
     for attempts in (1, 4, 16):
-        run = outcomes[("lock_attempts", attempts)].unwrap()
-        result.lock_attempts[attempts] = (run.cycles, run.abort_rate)
+        run = outcomes.run(("lock_attempts", attempts))
+        result.lock_attempts[attempts] = (
+            GAP if run is None else (run.cycles, run.abort_rate)
+        )
 
     for turn in (1, 8):
-        run = outcomes[("scheduler", turn)].unwrap()
-        result.scheduler[turn] = (run.cycles, run.abort_rate)
+        run = outcomes.run(("scheduler", turn))
+        result.scheduler[turn] = GAP if run is None else (run.cycles, run.abort_rate)
     return result
 
 
-def table2(quick=False, jobs=None, metrics=None, timeline_dir=None):
+def table2(quick=False, jobs=None, metrics=None, timeline_dir=None,
+           supervise=None, journal=None):
     """Sweep launch geometries per workload; report the optimum."""
     sweeps = {
         "ra": [(8, 32), (16, 32), (16, 64), (32, 32)],
@@ -571,18 +715,25 @@ def table2(quick=False, jobs=None, metrics=None, timeline_dir=None):
                     stm_overrides=configs.egpgv_capacity(),
                 )
             )
-    outcomes = _sweep(specs, jobs, metrics, timeline_dir)
+    outcomes = _sweep(specs, jobs, metrics, timeline_dir,
+                      supervise=supervise, journal=journal)
 
     result = Table2Result()
+    result.failures = outcomes.failures
     for name, geometries in sweeps.items():
         if quick:
             geometries = geometries[:2]
         best = None
         for grid, block in geometries:
-            run = outcomes[(name, grid, block)].unwrap()
+            run = outcomes.run((name, grid, block))
+            if run is None:
+                continue
             # strict < keeps the original tie-break: the earliest geometry
             # in sweep order wins among equals
             if best is None or run.cycles < best[2]:
                 best = (grid, block, run.cycles)
-        result.rows.append((name, best[0], best[1], best[2]))
+        if best is None:
+            result.rows.append((name, "-", "-", "FAILED"))
+        else:
+            result.rows.append((name, best[0], best[1], best[2]))
     return result

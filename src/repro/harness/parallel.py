@@ -27,15 +27,107 @@ The worker count comes from, in order: the ``jobs`` argument, the
 """
 
 import os
+import pickle
 import re
 import traceback
 
+from repro.gpu.errors import LivelockError, ProgressError
 from repro.harness import configs
 from repro.harness.runner import run_workload
 from repro.telemetry import MetricRegistry, Telemetry
 from repro.workloads import make_workload
 
 DEFAULT_JOBS_ENV = "REPRO_JOBS"
+
+
+class TransientJobError(RuntimeError):
+    """A job failure the supervisor may retry (chaos-injected or
+    environment-induced: a starved worker, a stalled warp window, memory
+    pressure).  Raising it — or wrapping another exception in it — marks
+    the attempt transient; everything else is treated as deterministic and
+    fails without retry."""
+
+
+def classify_exception(exc):
+    """Map an exception to ``(category, transient)`` — the supervision
+    layer's failure taxonomy (see docs/resilience.md).
+
+    Deterministic simulator outcomes are never transient: the same spec
+    replays to the same watchdog trip, so retrying a livelock or a
+    suspected deadlock is wasted work.  Transience comes from the
+    *environment* (killed or starved workers, memory pressure) or from an
+    explicit :class:`TransientJobError`.
+    """
+    if isinstance(exc, LivelockError):
+        return "livelock", False
+    if isinstance(exc, ProgressError):
+        return "deadlock", False
+    if isinstance(exc, TransientJobError):
+        return "transient", True
+    if isinstance(exc, pickle.PicklingError):
+        return "unpicklable", False
+    if isinstance(exc, MemoryError):
+        return "oom", True
+    return "error", False
+
+
+class JobFailure:
+    """Structured description of one failed job: what, why, how often.
+
+    Plain picklable data carried on :attr:`JobResult.failure` so sweeps,
+    the supervisor and the journal can act on failures without parsing
+    traceback strings.  ``category`` is one of the taxonomy names produced
+    by :func:`classify_exception` plus the supervisor-level categories
+    (``timeout``, ``worker-lost``).  ``transient`` records whether the
+    supervisor considered the failure retryable; ``attempts`` how many
+    attempts were made in total (1 when unsupervised).
+    """
+
+    __slots__ = (
+        "key", "category", "exception", "message", "traceback",
+        "attempts", "transient",
+    )
+
+    def __init__(self, key, category, exception, message, traceback=None,
+                 attempts=1, transient=False):
+        self.key = key
+        self.category = category
+        self.exception = exception
+        self.message = message
+        self.traceback = traceback
+        self.attempts = attempts
+        self.transient = transient
+
+    @classmethod
+    def from_exception(cls, key, exc, attempts=1, tb=None):
+        category, transient = classify_exception(exc)
+        return cls(
+            key,
+            category,
+            type(exc).__name__,
+            str(exc),
+            traceback=tb,
+            attempts=attempts,
+            transient=transient,
+        )
+
+    def as_dict(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __getstate__(self):
+        return self.as_dict()
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def brief(self):
+        return "%s[%s] after %d attempt(s): %s" % (
+            self.exception, self.category, self.attempts, self.message
+        )
+
+    def __repr__(self):
+        return "JobFailure(%r, %s)" % (self.key, self.brief())
 
 
 def default_jobs():
@@ -81,12 +173,13 @@ class JobSpec:
         "allow_crash",
         "telemetry",
         "timeline_dir",
+        "fault_plan",
     )
 
     def __init__(self, key, workload, params, variant,
                  num_locks=configs.DEFAULT_NUM_LOCKS, stm_overrides=None,
                  gpu_overrides=None, verify=True, allow_crash=False,
-                 telemetry=False, timeline_dir=None):
+                 telemetry=False, timeline_dir=None, fault_plan=None):
         self.key = key
         self.workload = workload
         self.params = dict(params)
@@ -98,6 +191,10 @@ class JobSpec:
         self.allow_crash = allow_crash
         self.telemetry = telemetry
         self.timeline_dir = timeline_dir
+        # a list of fault-spec strings (FaultSpec.parse syntax) armed on
+        # the worker's device — carried as plain data so the spec pickles
+        # and fingerprints without importing the faults package
+        self.fault_plan = list(fault_plan) if fault_plan else None
 
     def __getstate__(self):
         return {slot: getattr(self, slot) for slot in self.__slots__}
@@ -106,8 +203,26 @@ class JobSpec:
         # defaults first: states pickled before a slot existed stay valid
         self.telemetry = False
         self.timeline_dir = None
+        self.fault_plan = None
         for slot, value in state.items():
             setattr(self, slot, value)
+
+    def clone(self, **updates):
+        """A deep-enough copy with ``updates`` applied (supervision uses
+        this to overlay cycle budgets and chaos fault plans without
+        mutating the caller's spec list)."""
+        state = self.__getstate__()
+        state.update(updates)
+        spec = JobSpec.__new__(JobSpec)
+        spec.__setstate__(state)
+        spec.params = dict(spec.params)
+        if spec.stm_overrides is not None:
+            spec.stm_overrides = dict(spec.stm_overrides)
+        if spec.gpu_overrides is not None:
+            spec.gpu_overrides = dict(spec.gpu_overrides)
+        if spec.fault_plan is not None:
+            spec.fault_plan = list(spec.fault_plan)
+        return spec
 
     def __repr__(self):
         return "JobSpec(%r, %s/%s)" % (self.key, self.workload, self.variant)
@@ -119,17 +234,21 @@ class JobResult:
     ``metrics`` carries the worker's serialized
     :class:`~repro.telemetry.MetricRegistry` (``as_dict`` form) when the
     spec requested telemetry; ``trace_path`` points at the per-run timeline
-    artifact when one was recorded.
+    artifact when one was recorded.  ``failure`` is the structured
+    :class:`JobFailure` companion of ``error`` (the raw traceback string):
+    always set together for a failed job.
     """
 
-    __slots__ = ("key", "run", "error", "metrics", "trace_path")
+    __slots__ = ("key", "run", "error", "metrics", "trace_path", "failure")
 
-    def __init__(self, key, run=None, error=None, metrics=None, trace_path=None):
+    def __init__(self, key, run=None, error=None, metrics=None,
+                 trace_path=None, failure=None):
         self.key = key
         self.run = run
         self.error = error
         self.metrics = metrics
         self.trace_path = trace_path
+        self.failure = failure
 
     def __getstate__(self):
         return {slot: getattr(self, slot) for slot in self.__slots__}
@@ -137,12 +256,21 @@ class JobResult:
     def __setstate__(self, state):
         self.metrics = None
         self.trace_path = None
+        self.failure = None
         for slot, value in state.items():
             setattr(self, slot, value)
 
     @property
     def failed(self):
         return self.error is not None
+
+    def brief_error(self):
+        """One-line description of the failure (structured when possible)."""
+        if self.failure is not None:
+            return self.failure.brief()
+        if self.error is not None:
+            return self.error.strip().splitlines()[-1]
+        return None
 
     def unwrap(self):
         """Return the ``RunResult``; re-raise a captured worker error."""
@@ -154,7 +282,7 @@ class JobResult:
 
     def __repr__(self):
         if self.failed:
-            return "JobResult(%r, FAILED: %s)" % (self.key, self.error.splitlines()[-1])
+            return "JobResult(%r, FAILED: %s)" % (self.key, self.brief_error())
         return "JobResult(%r, %r)" % (self.key, self.run)
 
 
@@ -194,10 +322,17 @@ def execute_job(spec):
             verify=spec.verify,
             allow_crash=spec.allow_crash,
             telemetry=tel,
+            fault_plan=spec.fault_plan,
         )
         result = JobResult(spec.key, run=run)
-    except Exception:
-        result = JobResult(spec.key, error=traceback.format_exc())
+    except Exception as exc:
+        result = JobResult(
+            spec.key,
+            error=traceback.format_exc(),
+            failure=JobFailure.from_exception(
+                spec.key, exc, tb=traceback.format_exc()
+            ),
+        )
     if tel is not None:
         result.metrics = tel.registry.as_dict()
         if spec.timeline_dir is not None and tel.timeline is not None:
@@ -226,7 +361,31 @@ def merge_job_metrics(results, into=None):
     return merged
 
 
-def run_jobs(specs, jobs=None, executor=None):
+def _pool_error_result(spec, exc):
+    """A structured failure for a job the *pool machinery* lost.
+
+    A bare ``PicklingError`` escaping ``pool.map`` used to abort the whole
+    sweep without saying which spec carried the unpicklable kernel arg (or
+    produced the unpicklable result).  Each pool failure now becomes a
+    :class:`JobFailure` naming the offending :class:`JobSpec`.
+    """
+    category, transient = classify_exception(exc)
+    if "pickle" in type(exc).__name__.lower() or "pickle" in str(exc).lower():
+        category = "unpicklable"
+        transient = False
+    message = (
+        "job %r (%r) failed in the process pool: %s: %s"
+        % (getattr(spec, "key", spec), spec, type(exc).__name__, exc)
+    )
+    failure = JobFailure(
+        getattr(spec, "key", None), category, type(exc).__name__, message,
+        traceback=traceback.format_exc(), transient=transient,
+    )
+    return JobResult(getattr(spec, "key", None), error=message, failure=failure)
+
+
+def run_jobs(specs, jobs=None, executor=None, supervise=None, journal=None,
+             chaos=None, metrics=None):
     """Execute ``specs``; return the executor's results in spec order.
 
     ``executor`` maps one spec to one result and must never raise; it
@@ -239,7 +398,26 @@ def run_jobs(specs, jobs=None, executor=None):
     executor pool.  With ``jobs > 1`` the specs fan out over a
     ``ProcessPoolExecutor``; ordering, and therefore every figure built
     from the results, is identical either way.
+
+    ``supervise`` (a :class:`~repro.harness.supervisor.SupervisorConfig`
+    or a kwargs dict for one), ``journal`` (a path or
+    :class:`~repro.harness.journal.SweepJournal`) and ``chaos`` (a
+    :class:`~repro.harness.supervisor.ChaosPlan`) route execution through
+    :func:`repro.harness.supervisor.run_supervised` — per-job timeouts,
+    bounded retry with backoff, checkpoint/resume.  All three default to
+    ``None``: the happy path below runs exactly as before, with no
+    supervision machinery on it.  ``metrics`` (a ``MetricRegistry``)
+    receives the ``supervisor.*`` counters when supervision is active.
     """
+    if supervise is not None or journal is not None or chaos is not None:
+        # imported lazily: the unsupervised path must not pay for (or
+        # depend on) the supervision stack
+        from repro.harness.supervisor import run_supervised
+
+        return run_supervised(
+            specs, jobs=jobs, config=supervise, journal=journal,
+            chaos=chaos, executor=executor, metrics=metrics,
+        )
     specs = list(specs)
     if executor is None:
         executor = execute_job
@@ -253,6 +431,16 @@ def run_jobs(specs, jobs=None, executor=None):
 
     workers = min(jobs, len(specs))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        # pool.map preserves input order; chunksize 1 keeps long and short
-        # runs from being glued to the same worker
-        return list(pool.map(executor, specs, chunksize=1))
+        # one submit per spec (equivalent to pool.map with chunksize 1,
+        # which kept long and short runs from being glued to one worker)
+        # so a pool-level failure — an unpicklable kernel arg in a spec,
+        # an unpicklable object in a result — is attributable to its job
+        # instead of aborting the whole sweep
+        futures = [pool.submit(executor, spec) for spec in specs]
+        results = []
+        for spec, future in zip(specs, futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:  # noqa: BLE001 - captured per job
+                results.append(_pool_error_result(spec, exc))
+        return results

@@ -28,6 +28,10 @@ def render_series(title, x_label, xs, series, fmt="%.2f"):
             value = series[name][i]
             if value is None:
                 row.append("crash")
+            elif isinstance(value, str):
+                # pre-rendered cell (e.g. "FAILED" gaps from a supervised
+                # sweep that exhausted retries)
+                row.append(value)
             else:
                 row.append(fmt % value)
         rows.append(row)

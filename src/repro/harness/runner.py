@@ -89,11 +89,20 @@ def run_workload(
     ``sanitizer`` (a :class:`~repro.faults.sanitizer.StmSanitizer`) is
     bound to the runtime so the online invariant checks run alongside the
     workload; its at-exit checks run after the last kernel.  ``fault_plan``
-    (a :class:`~repro.faults.plan.FaultPlan`) is armed on the device after
-    workload setup so region-relative fault addresses resolve.  Neither
-    can be combined with a timeline-recording telemetry session (both own
-    the thread-context factory).
+    (a :class:`~repro.faults.plan.FaultPlan`, or an iterable of
+    ``FaultSpec.parse`` strings — the form :class:`~repro.harness.parallel.
+    JobSpec` carries across process boundaries) is armed on the device
+    after workload setup so region-relative fault addresses resolve.
+    Neither can be combined with a timeline-recording telemetry session
+    (both own the thread-context factory).
     """
+    if fault_plan is not None:
+        # imported lazily: the harness must stay importable without the
+        # faults package on the happy path
+        from repro.faults.plan import FaultPlan
+
+        if not isinstance(fault_plan, FaultPlan):
+            fault_plan = FaultPlan(fault_plan)
     device = Device(gpu_config, telemetry=telemetry)
     workload.setup(device)
     overrides = dict(stm_overrides or {})

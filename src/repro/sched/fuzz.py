@@ -18,10 +18,10 @@ shrinking runs in the driving process (each probe is one serial replay).
 The harness exposes this as ``python -m repro.harness fuzz``.
 """
 
-import json
 import os
 import traceback
 
+from repro.common.fsio import atomic_open, atomic_write_json
 from repro.harness.parallel import run_jobs
 from repro.sched.explore import ScheduleOutcome, run_under_schedule
 
@@ -289,9 +289,7 @@ def _write_failure_artifacts(directory, tag, failure):
             "detail": outcome.detail,
             "traces": outcome.traces,
         }
-        with open(path, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        atomic_write_json(path, payload)
         written.append(path)
 
     dump("schedule", failure.outcome)
@@ -309,12 +307,10 @@ def _write_failure_artifacts(directory, tag, failure):
                 failure.shrunk_decisions, num_launches
             ),
         }
-        with open(path, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        atomic_write_json(path, payload)
         written.append(path)
     ledger_path = os.path.join(directory, "%s.ledger.csv" % tag)
-    with open(ledger_path, "w") as handle:
+    with atomic_open(ledger_path) as handle:
         handle.write("sequence,tid,outcome,reason,reads,writes,version\n")
         for row in failure.outcome.ledger_rows:
             handle.write(",".join(str(x) for x in row) + "\n")

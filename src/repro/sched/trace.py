@@ -79,12 +79,17 @@ class ScheduleTrace:
         }
 
     def to_json(self, path=None, indent=None):
-        """Serialize; write to ``path`` when given, else return the string."""
+        """Serialize; write to ``path`` when given, else return the string.
+
+        File writes are atomic (temp file + ``os.replace``) so an
+        interrupted dump cannot leave a truncated replay artifact.
+        """
         payload = json.dumps(self.as_dict(), indent=indent, sort_keys=True)
         if path is None:
             return payload
-        with open(path, "w") as handle:
-            handle.write(payload + "\n")
+        from repro.common.fsio import atomic_write_text
+
+        atomic_write_text(path, payload + "\n")
         return payload
 
     @classmethod

@@ -43,8 +43,13 @@ STM_VARIANTS = (
     "optimized",
 )
 
-#: Extensions beyond the paper's evaluated set (its stated future work).
-EXTENSION_VARIANTS = ("hv-adaptive",)
+#: Extensions beyond the paper's evaluated set: the adaptive HV/TBV
+#: switcher (the paper's stated future work) and the section 2.2
+#: strawman with encounter-time lock-sorting removed — registered so the
+#: livelock-classification tests and the supervision layer's failure
+#: taxonomy can drive it through the ordinary harness paths
+#: (``make_runtime`` also accepts the short alias ``unsorted``).
+EXTENSION_VARIANTS = ("hv-adaptive", "hv-unsorted-nobackoff")
 
 
 @dataclass
@@ -123,6 +128,14 @@ def make_runtime(name, device, config=None):
         return HvAdaptiveRuntime(
             device, precommit_vbv=config.precommit_vbv, **common
         )
+    if name in ("unsorted", "hv-unsorted-nobackoff"):
+        from repro.stm.runtime.unsorted import UnsortedNoBackoffRuntime
+
+        # the strawman's defining property is unbounded symmetric retries
+        # with no backoff: lock acquisition never gives up, so crossed
+        # lock orders livelock instead of aborting their way to progress
+        common["max_lock_attempts"] = 10**9
+        return UnsortedNoBackoffRuntime(device, use_vbv=True, **common)
     if name == "optimized":
         return OptimizedRuntime(
             device, shared_data_size=config.shared_data_size, **common

@@ -149,7 +149,9 @@ class TxTracer:
         """
         import csv
 
-        with open(path, "w", newline="") as handle:
+        from repro.common.fsio import atomic_open
+
+        with atomic_open(path, newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(self.CSV_HEADER.split(","))
             for event in self.events:

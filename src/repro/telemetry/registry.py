@@ -252,11 +252,14 @@ class MetricRegistry:
         return registry
 
     def write_json(self, path):
-        """Write the registry to ``path`` as JSON; returns the path."""
-        with open(path, "w") as handle:
-            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        return path
+        """Write the registry to ``path`` as JSON; returns the path.
+
+        The write is atomic (temp file + ``os.replace``): a killed process
+        never leaves a truncated registry behind.
+        """
+        from repro.common.fsio import atomic_write_json
+
+        return atomic_write_json(path, self.as_dict())
 
     def render(self, limit=30):
         """One-screen text digest: the largest counters, then the gauges."""

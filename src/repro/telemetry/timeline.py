@@ -213,8 +213,14 @@ class TimelineRecorder:
         }
 
     def write(self, path):
-        """Write the Chrome-trace JSON to ``path``; returns the path."""
-        with open(path, "w") as handle:
+        """Write the Chrome-trace JSON to ``path``; returns the path.
+
+        Atomic (temp file + ``os.replace``): a worker killed mid-dump never
+        leaves a truncated trace in the timeline directory.
+        """
+        from repro.common.fsio import atomic_open
+
+        with atomic_open(path) as handle:
             json.dump(self.to_chrome_trace(), handle)
             handle.write("\n")
         return path

@@ -1,0 +1,61 @@
+"""Crash-consistent artifact writes (repro.common.fsio)."""
+
+import json
+import os
+
+import pytest
+
+from repro.common.fsio import atomic_open, atomic_write_json, atomic_write_text
+
+
+class TestAtomicOpen:
+    def test_writes_contents(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_open(path) as handle:
+            handle.write("hello")
+        assert open(path).read() == "hello"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_open(path) as handle:
+            handle.write("x")
+        assert os.listdir(str(tmp_path)) == ["out.txt"]
+
+    def test_exception_keeps_previous_contents(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "original")
+        with pytest.raises(RuntimeError):
+            with atomic_open(path) as handle:
+                handle.write("partial garbage")
+                raise RuntimeError("simulated crash mid-write")
+        assert open(path).read() == "original"
+        assert os.listdir(str(tmp_path)) == ["out.txt"]
+
+    def test_exception_on_fresh_path_leaves_nothing(self, tmp_path):
+        path = str(tmp_path / "never.txt")
+        with pytest.raises(RuntimeError):
+            with atomic_open(path) as handle:
+                handle.write("torn")
+                raise RuntimeError("boom")
+        assert not os.path.exists(path)
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_rejects_read_modes(self, tmp_path):
+        with pytest.raises(ValueError, match="only writes"):
+            with atomic_open(str(tmp_path / "x"), mode="r"):
+                pass
+
+
+class TestAtomicJson:
+    def test_round_trips_and_ends_with_newline(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        atomic_write_json(path, {"b": 2, "a": [1, 2]})
+        text = open(path).read()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": [1, 2], "b": 2}
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        atomic_write_json(path, {"version": 1})
+        atomic_write_json(path, {"version": 2})
+        assert json.loads(open(path).read()) == {"version": 2}

@@ -130,3 +130,97 @@ class TestCli:
         import pstats
 
         pstats.Stats(path)  # loadable raw dump
+
+
+class TestResilienceFlags:
+    def test_sweep_failures_exit_nonzero_with_summary(self, capsys, monkeypatch):
+        from repro.harness import __main__ as cli
+        from repro.harness.parallel import JobFailure
+
+        class StubResult:
+            failures = [JobFailure(("ra", "vbv"), "livelock", "LivelockError",
+                                   "watchdog tripped", attempts=1)]
+
+            def render(self):
+                return "stub"
+
+        def stub_target(quick=False, jobs=None, metrics=None,
+                        timeline_dir=None):
+            return StubResult()
+
+        monkeypatch.setitem(cli.TARGETS, "fig2", stub_target)
+        assert main(["fig2", "--quick"]) == 1
+        err = capsys.readouterr().err
+        assert "1 job(s) failed" in err
+        assert "livelock" in err
+
+    def test_retries_and_resume_flags_reach_the_driver(self, tmp_path,
+                                                       capsys, monkeypatch):
+        from repro.harness import __main__ as cli
+        from repro.harness.supervisor import SupervisorConfig
+
+        seen = {}
+
+        class StubResult:
+            def render(self):
+                return "stub"
+
+        def stub_target(quick=False, jobs=None, metrics=None,
+                        timeline_dir=None, supervise=None, journal=None):
+            seen.update(supervise=supervise, journal=journal)
+            return StubResult()
+
+        monkeypatch.setitem(cli.TARGETS, "fig2", stub_target)
+        path = os.path.join(str(tmp_path), "sweep.journal")
+        assert main(["fig2", "--quick", "--retries", "3",
+                     "--timeout", "7.5", "--resume", path]) == 0
+        assert isinstance(seen["supervise"], SupervisorConfig)
+        assert seen["supervise"].max_retries == 3
+        assert seen["supervise"].wall_timeout == 7.5
+        assert seen["journal"] == path
+
+    def test_multi_target_resume_journals_per_target(self, tmp_path,
+                                                     capsys, monkeypatch):
+        from repro.harness import __main__ as cli
+
+        journals = {}
+
+        class StubResult:
+            def render(self):
+                return "stub"
+
+        def make_stub(name):
+            def stub_target(quick=False, jobs=None, metrics=None,
+                            timeline_dir=None, supervise=None, journal=None):
+                journals[name] = journal
+                return StubResult()
+            return stub_target
+
+        for name in cli.TARGETS:
+            monkeypatch.setitem(cli.TARGETS, name, make_stub(name))
+        path = os.path.join(str(tmp_path), "sweep.journal")
+        assert main(["all", "--quick", "--resume", path]) == 0
+        assert journals["fig2"] == "%s.fig2" % path
+        assert journals["fig5"] == "%s.fig5" % path
+        assert len(set(journals.values())) == len(cli.TARGETS)
+
+    def test_chaos_is_an_accepted_target(self, capsys, monkeypatch):
+        from repro.harness import __main__ as cli
+
+        calls = {}
+
+        def stub_chaos(jobs=2, out_dir="x", wall_timeout=20.0, kill_after=2):
+            class Report:
+                ok = True
+
+                def render(self):
+                    return "chaos stub"
+            calls.update(jobs=jobs, out_dir=out_dir, wall_timeout=wall_timeout)
+            return Report()
+
+        import repro.harness.chaos as chaos_mod
+        monkeypatch.setattr(chaos_mod, "run_chaos", stub_chaos)
+        assert main(["chaos", "--jobs", "3", "--out", "somewhere",
+                     "--timeout", "5"]) == 0
+        assert calls == dict(jobs=3, out_dir="somewhere", wall_timeout=5.0)
+        assert "chaos stub" in capsys.readouterr().out

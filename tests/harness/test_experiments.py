@@ -75,3 +75,60 @@ class TestRenderers:
         result.rows.append(("ra", 8, 32, 12345))
         rendered = result.render()
         assert "12345" in rendered
+
+
+class TestGracefulDegradation:
+    def test_fig2_gap_cells_render_failed(self):
+        from repro.harness.parallel import JobFailure
+
+        result = experiments.Fig2Result()
+        for workload in experiments.FIG2_WORKLOADS:
+            result.speedups[workload] = {
+                variant: experiments.GAP if variant == "vbv" else 2.0
+                for variant in experiments.FIG2_VARIANTS
+            }
+        result.failures = [
+            JobFailure(("ra", "vbv"), "livelock", "LivelockError",
+                       "watchdog tripped", attempts=1)
+        ]
+        rendered = result.render()
+        assert "FAILED" in rendered
+        assert "1 job(s) failed" in rendered
+        assert "livelock" in rendered
+
+    def test_failures_note_empty_on_clean_sweep(self):
+        assert experiments._failures_note([]) == ""
+
+    def test_sweep_outcomes_run_returns_none_for_failures(self):
+        from repro.harness.parallel import JobFailure, JobResult
+
+        ok = JobResult("good", run="payload")
+        bad = JobResult("bad", error="Boom: exploded")
+        bad.failure = JobFailure("bad", "error", "Boom", "exploded")
+        outcomes = experiments.SweepOutcomes([ok, bad])
+        assert outcomes.run("good") == "payload"
+        assert outcomes.run("bad") is None
+        assert [f.key for f in outcomes.failures] == ["bad"]
+
+    def test_sweep_outcomes_synthesizes_failure_from_legacy_error(self):
+        from repro.harness.parallel import JobResult
+
+        legacy = JobResult("old", error="Traceback ...\nValueError: nope")
+        outcomes = experiments.SweepOutcomes([legacy])
+        assert len(outcomes.failures) == 1
+        assert outcomes.failures[0].key == "old"
+
+    @pytest.mark.slow
+    def test_fig5_survives_an_all_failed_sweep(self):
+        # a starvation-tight cycle budget fails every job; the figure
+        # still renders — with gaps and a failure footer — instead of
+        # raising away the whole sweep
+        from repro.harness.supervisor import SupervisorConfig
+
+        result = experiments.fig5(
+            quick=True, supervise=SupervisorConfig(cycle_budget=50))
+        assert result.rows == []
+        assert len(result.failures) == 3
+        rendered = result.render()
+        assert "Figure 5" in rendered
+        assert "3 job(s) failed" in rendered

@@ -116,3 +116,37 @@ class TestCustomExecutor:
             ("tagged", "b"),
             ("tagged", "c"),
         ]
+
+
+def _unpicklable_result_executor(spec):
+    """Module-level executor whose *result* cannot cross the pipe."""
+    return lambda: spec.key
+
+
+class TestPoolFailures:
+    @pytest.mark.slow
+    def test_unpicklable_spec_names_the_offending_job(self):
+        # a closure smuggled into a spec's params cannot be shipped to a
+        # worker; the failure must name that spec and spare its siblings
+        bad = _ra_spec("bad")
+        bad.params["hook"] = lambda: None
+        fine = _ra_spec("fine")
+        bad_result, fine_result = run_jobs([bad, fine], jobs=2)
+        assert bad_result.failed
+        assert bad_result.failure.category == "unpicklable"
+        assert "'bad'" in bad_result.failure.message
+        assert not bad_result.failure.transient
+        assert not fine_result.failed
+        assert fine_result.unwrap().commits > 0
+
+    @pytest.mark.slow
+    def test_unpicklable_result_names_the_offending_job(self):
+        results = run_jobs(
+            [_ra_spec("a"), _ra_spec("b")], jobs=2,
+            executor=_unpicklable_result_executor,
+        )
+        assert [r.key for r in results] == ["a", "b"]
+        for result in results:
+            assert result.failed
+            assert result.failure.category == "unpicklable"
+            assert "%r" % result.key in result.failure.message
