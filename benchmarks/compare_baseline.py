@@ -5,13 +5,15 @@ Runs a small fixed set of (workload, variant) configurations through
 ``run_under_schedule``, measures warp-steps per wall-clock second (best
 of ``--repeat`` runs), and compares against ``benchmarks/baseline.json``:
 
-* a drop of more than ``--threshold`` (default 20%) prints a REGRESSION
-  warning — exit 0 unless ``--strict``, since absolute wall-clock
-  numbers vary across machines and CI runners;
+* a drop of more than ``--threshold`` (default 20%) is a REGRESSION and
+  the script exits non-zero (``--lenient`` downgrades it to a warning
+  for machines whose wall-clock numbers are known to be incomparable to
+  the baseline's);
 * a *step-count* mismatch is always an error: steps are simulated and
   must be bit-identical on every machine.
 
-Refresh the baseline (e.g. after an intentional perf change) with::
+After an *intentional* perf change, refresh the committed baseline —
+that is the escape hatch for legitimate shifts — with::
 
     PYTHONPATH=src python benchmarks/compare_baseline.py --update
 """
@@ -57,8 +59,11 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
                         help="rewrite baseline.json from this machine's numbers")
+    parser.add_argument("--lenient", action="store_true",
+                        help="downgrade throughput regressions to warnings "
+                             "(step drift still fails)")
     parser.add_argument("--strict", action="store_true",
-                        help="exit non-zero on throughput regression, not just warn")
+                        help=argparse.SUPPRESS)  # legacy: now the default
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="fractional steps/sec drop that counts as a regression")
     parser.add_argument("--repeat", type=int, default=3,
@@ -100,7 +105,7 @@ def main(argv=None):
         if ratio < 1.0 - args.threshold:
             print("%-20s REGRESSION  %10.1f -> %10.1f steps/sec (%.0f%% of baseline)"
                   % (case, then["steps_per_sec"], now["steps_per_sec"], 100 * ratio))
-            if args.strict:
+            if not args.lenient:
                 status = 1
         else:
             print("%-20s ok          %10.1f -> %10.1f steps/sec (%.0f%% of baseline)"

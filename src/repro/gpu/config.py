@@ -83,6 +83,13 @@ class GpuConfig:
     # (attached to the KernelResult as ``schedule_trace``), so the exact
     # interleaving can be serialized and replayed.
     record_schedule: bool = False
+    # Sharded-SM execution: partition the SMs of one launch across this
+    # many worker threads (0 = sequential issue loops).  Turn order is
+    # sequenced to match sequential execution exactly, so results are
+    # bit-identical either way (see repro.gpu.shards and
+    # docs/simulator.md).  The REPRO_SM_SHARDS environment variable
+    # overrides this field at launch time.
+    sm_shards: int = 0
     costs: CostModel = field(default_factory=CostModel)
     # Watchdog: launch fails with ProgressError after this many warp steps.
     max_steps: int = 20_000_000
@@ -102,6 +109,8 @@ class GpuConfig:
             raise ValueError("SM residency limits must be >= 1")
         if self.warp_steps_per_turn < 1:
             raise ValueError("warp_steps_per_turn must be >= 1")
+        if self.sm_shards < 0:
+            raise ValueError("sm_shards must be >= 0")
 
 
 def small_config(warp_size=4, num_sms=2, max_steps=2_000_000):

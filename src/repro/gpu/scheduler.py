@@ -25,6 +25,7 @@ the paper's section 2.2 catalogues — surface as
 of hanging the host.
 """
 
+import os
 from collections import deque
 
 from repro.gpu.config import GpuConfig
@@ -34,6 +35,29 @@ from repro.gpu.memory import GlobalMemory
 from repro.gpu.warp import build_block
 from repro.sched.policy import RoundRobin, make_policy
 from repro.sched.trace import ScheduleTrace
+
+
+def resolve_sm_shards(config):
+    """Worker-thread count for sharded-SM execution of one launch.
+
+    The ``REPRO_SM_SHARDS`` environment variable overrides the config's
+    ``sm_shards`` field (``0``/unset keeps the sequential issue loops).
+    The result is capped at the device's SM count — more workers than SMs
+    would only add idle sequencer turns.
+    """
+    env = os.environ.get("REPRO_SM_SHARDS")
+    if env is not None and env.strip() != "":
+        try:
+            shards = int(env)
+        except ValueError:
+            raise LaunchError(
+                "REPRO_SM_SHARDS must be an integer, got %r" % env
+            ) from None
+    else:
+        shards = getattr(config, "sm_shards", 0)
+    if shards < 0:
+        raise LaunchError("sm_shards must be >= 0, got %d" % shards)
+    return min(shards, config.num_sms)
 
 
 class _Sm:
@@ -161,12 +185,26 @@ class Device:
             spec = policy.spec()
             trace = ScheduleTrace(policy=spec if isinstance(spec, str) else policy.name)
 
-        if trace is None and tel is None and injector is None and type(policy) is RoundRobin:
+        shards = resolve_sm_shards(config)
+        if shards > 1 and len(sms) > 1 and injector is None and sanitizer is None:
+            # (fault-injection / sanitizer runs keep the sequential loop —
+            # those instruments hook it directly)
+            # sharded-SM execution: SMs are partitioned across worker
+            # threads, with per-turn sequencing that preserves the
+            # sequential issue order exactly (see repro.gpu.shards)
+            from repro.gpu.shards import issue_sharded
+
+            policy.reset(config)
+            total_steps, total_mem_txns = issue_sharded(
+                self, sms, config, policy, trace, tel, shards
+            )
+        elif tel is None and injector is None and type(policy) is RoundRobin:
             # (an armed injector takes the generic path so its scheduler
             # hook — warp-stall windows — sees every issue decision)
             # the common case keeps the tight loop: no per-issue virtual
-            # calls, bit-identical to the pre-policy scheduler
-            total_steps, total_mem_txns = self._issue_round_robin(sms, config)
+            # calls, bit-identical to the pre-policy scheduler; recording
+            # rides along as a plain list append per turn
+            total_steps, total_mem_txns = self._issue_round_robin(sms, config, trace)
         else:
             # telemetry-enabled launches take the generic loop, which is
             # cost-equivalent to the fast path under RoundRobin (pinned by
@@ -192,23 +230,78 @@ class Device:
             result.schedule_trace = trace
         return result
 
-    def _issue_round_robin(self, sms, config):
-        """Fast path: fixed round-robin issue, no recording."""
+    def _issue_round_robin(self, sms, config, trace=None):
+        """Fast path: fixed round-robin issue, optionally recorded.
+
+        Recording is one list append per turn — cheap enough that the
+        record/replay benchmark path shares the tight loop (the recorded
+        decisions are pinned identical to the generic policy path by the
+        trace-replay tests).
+        """
         total_steps = 0
         total_mem_txns = 0
         max_steps = config.max_steps
         steps_per_turn = config.warp_steps_per_turn
+        record = trace.decisions.append if trace is not None else None
         active_sms = [sm for sm in sms if sm.busy()]
+        # The steps-per-turn == 1 round robin (the default, and the hottest
+        # loop in the simulator) gets its own copy of the issue loop so the
+        # quota branch is decided once per launch, not once per turn.  Both
+        # loops rebuild the active list only on the (rare) rounds where an
+        # SM actually went idle, not afresh every round.
+        if steps_per_turn == 1:
+            while active_sms:
+                drained = False
+                for sm in active_sms:
+                    if sm.pending:
+                        sm.refill(config)
+                    warps = sm.resident_warps
+                    if not warps:
+                        if not sm.pending:
+                            drained = True
+                        continue
+                    next_warp = sm.next_warp
+                    if next_warp >= len(warps):
+                        next_warp = 0
+                    warp = warps[next_warp]
+                    block = warp.block
+                    cost, finished, mem_txns = warp.step()
+                    sm.cycles += cost
+                    total_mem_txns += mem_txns
+                    total_steps += 1
+                    if finished:
+                        block.lanes_finished(finished)
+                    elif block.barrier_waiting:
+                        block.maybe_release_barrier()
+                    if record is not None:
+                        record([sm.index, warp.warp_id, 1])
+                    if warp.live == 0:
+                        # retire the warp; the block is done once its
+                        # live-lane count reaches zero
+                        warps.pop(next_warp)
+                        sm.next_warp = next_warp
+                        if block.live_lanes == 0:
+                            sm.resident_blocks -= 1
+                        if not warps and not sm.pending:
+                            drained = True
+                    else:
+                        sm.next_warp = next_warp + 1
+                    # watchdog, checked per issued turn: a livelocked kernel
+                    # overshoots max_steps by at most one turn quota
+                    if total_steps > max_steps:
+                        raise self._watchdog_error(total_steps, sms)
+                if drained:
+                    active_sms = [sm for sm in active_sms if sm.busy()]
+            return total_steps, total_mem_txns
         while active_sms:
-            still_active = []
-            add_active = still_active.append
+            drained = False
             for sm in active_sms:
                 if sm.pending:
                     sm.refill(config)
                 warps = sm.resident_warps
                 if not warps:
-                    if sm.pending:
-                        add_active(sm)
+                    if not sm.pending:
+                        drained = True
                     continue
                 next_warp = sm.next_warp
                 if next_warp >= len(warps):
@@ -216,47 +309,40 @@ class Device:
                 warp = warps[next_warp]
                 block = warp.block
                 # issue the selected warp for the configured number of
-                # consecutive steps (1 = round robin; larger approximates a
+                # consecutive steps (larger quotas approximate a
                 # greedy-then-oldest scheduler)
-                if steps_per_turn == 1:
+                issued = 0
+                for _turn in range(steps_per_turn):
                     cost, finished, mem_txns = warp.step()
                     sm.cycles += cost
                     total_mem_txns += mem_txns
                     total_steps += 1
+                    issued += 1
                     if finished:
-                        for _ in range(finished):
-                            block.lane_finished()
+                        block.lanes_finished(finished)
                     elif block.barrier_waiting:
                         block.maybe_release_barrier()
-                else:
-                    for _turn in range(steps_per_turn):
-                        cost, finished, mem_txns = warp.step()
-                        sm.cycles += cost
-                        total_mem_txns += mem_txns
-                        total_steps += 1
-                        if finished:
-                            for _ in range(finished):
-                                block.lane_finished()
-                        elif block.barrier_waiting:
-                            block.maybe_release_barrier()
-                        if warp.live == 0:
-                            break
+                    if warp.live == 0:
+                        break
+                if record is not None:
+                    record([sm.index, warp.warp_id, issued])
                 if warp.live == 0:
                     # retire the warp; the block is done once its live-lane
-                    # count (maintained by lane_finished) reaches zero
+                    # count (maintained by lanes_finished) reaches zero
                     warps.pop(next_warp)
                     sm.next_warp = next_warp
                     if block.live_lanes == 0:
                         sm.resident_blocks -= 1
                 else:
                     sm.next_warp = next_warp + 1
-                if warps or sm.pending:
-                    add_active(sm)
+                if not warps and not sm.pending:
+                    drained = True
                 # watchdog, checked per issued turn: a livelocked kernel
                 # overshoots max_steps by at most one turn quota
                 if total_steps > max_steps:
                     raise self._watchdog_error(total_steps, sms)
-            active_sms = still_active
+            if drained:
+                active_sms = [sm for sm in active_sms if sm.busy()]
         return total_steps, total_mem_txns
 
     def _issue_with_policy(self, sms, config, policy, trace, tel=None):
@@ -307,8 +393,7 @@ class Device:
                     total_steps += 1
                     issued += 1
                     if finished:
-                        for _ in range(finished):
-                            block.lane_finished()
+                        block.lanes_finished(finished)
                     elif block.barrier_waiting:
                         block.maybe_release_barrier()
                     if warp.live == 0:

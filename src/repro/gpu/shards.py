@@ -1,0 +1,194 @@
+"""Sharded-SM execution: one launch issued by multiple worker threads.
+
+The SMs of a device are independent except for three shared resources —
+global memory, the issue-order-sensitive scheduling policy, and the global
+step watchdog.  This module partitions the SMs of one launch across
+``shards`` worker threads and serializes their turns with a token ring so
+that the interleaving of those shared resources is *exactly* the
+sequential issue order: round ``r`` visits the still-busy SMs in index
+order, one policy-selected turn each, identical to
+:meth:`~repro.gpu.scheduler.Device._issue_with_policy` (and therefore to
+the round-robin fast path, whose decisions the generic path is pinned to
+reproduce).  Golden kernel cycles are bit-identical by construction, which
+the sharded variant of the golden-cycle suite asserts.
+
+Determinism argument
+--------------------
+
+* A worker may touch device state (memory words, warp generators, the
+  policy, the trace, the step totals) only between ``acquire_turn`` and
+  ``release_turn`` — while it holds the ring token for one of its SMs.
+* The token moves through SM indices cyclically and skips retired SMs in
+  place, so the sequence of (SM, turn) pairs is a pure function of the
+  workload, never of thread timing.
+* The ring's condition-variable lock provides the happens-before edges:
+  everything the previous turn wrote is visible to the next turn's owner.
+
+Consequently the only nondeterminism threads could introduce — who *waits*
+where — is invisible to the simulation.  Under CPython's GIL this is
+concurrency rather than parallelism; the sharded mode exists to pin the
+deterministic merge protocol (and to exercise it in CI) so that a
+free-threaded or subinterpreter backend can parallelize the same loop
+without changing observable results.
+
+Sharding is selected per launch by :func:`~repro.gpu.scheduler.resolve_sm_shards`
+(the ``REPRO_SM_SHARDS`` environment variable overriding the config's
+``sm_shards`` field) and is intentionally bypassed while a fault injector
+or sanitizer is armed — those instruments hook the sequential issue loop.
+"""
+
+import threading
+
+from repro.gpu.errors import LaunchError
+
+
+class _TurnRing:
+    """Token ring over SM indices; serializes turns in sequential order."""
+
+    def __init__(self, num_sms):
+        self.cond = threading.Condition()
+        self.turn = 0  # SM index whose turn it is
+        self.active = [True] * num_sms
+        self.remaining = num_sms
+        self.failure = None
+
+    def acquire_turn(self, owned):
+        """Block until the token reaches one of ``owned``; return its index.
+
+        Returns ``None`` once every SM has retired or another worker
+        recorded a failure — the worker's signal to exit.  Retired SMs are
+        skipped in place by whichever worker observes the token on them,
+        so progress never depends on an already-exited owner thread.
+        """
+        with self.cond:
+            while True:
+                if self.failure is not None or self.remaining == 0:
+                    return None
+                turn = self.turn
+                if not self.active[turn]:
+                    self.turn = (turn + 1) % len(self.active)
+                    self.cond.notify_all()
+                    continue
+                if turn in owned:
+                    return turn
+                self.cond.wait()
+
+    def release_turn(self, sm_index, still_busy):
+        """Pass the token to the next SM; retire this SM if it drained."""
+        with self.cond:
+            if not still_busy:
+                self.active[sm_index] = False
+                self.remaining -= 1
+            self.turn = (sm_index + 1) % len(self.active)
+            self.cond.notify_all()
+
+    def fail(self, error):
+        with self.cond:
+            if self.failure is None:
+                self.failure = error
+            self.cond.notify_all()
+
+
+def _partition(num_sms, shards):
+    """SM indices per worker, round-robin: worker w owns {i : i % shards == w}."""
+    owned = [set() for _ in range(shards)]
+    for index in range(num_sms):
+        owned[index % shards].add(index)
+    return [indices for indices in owned if indices]
+
+
+def issue_sharded(device, sms, config, policy, trace, tel, shards):
+    """Issue one launch with SMs partitioned across worker threads.
+
+    Mirrors the per-turn body of the sequential policy loop exactly; see
+    the module docstring for why the result is bit-identical.  Returns
+    ``(total_steps, total_mem_txns)`` like the sequential issue loops.
+    """
+    num_sms = len(sms)
+    ring = _TurnRing(num_sms)
+    # Mutated only by the current token holder; the ring lock orders the
+    # accesses, so no extra synchronization is needed.
+    totals = [0, 0]  # [steps, mem_txns]
+    max_steps = config.max_steps
+    record = trace.record if trace is not None else None
+
+    # SMs with no work at launch (fewer blocks than SMs) retire on their
+    # first turn; afterwards the token skips them in place.
+
+    def run_turn(sm):
+        """One scheduling turn for ``sm`` — the sequential loop body."""
+        if sm.pending:
+            sm.refill(config)
+        warps = sm.resident_warps
+        if not warps:
+            return
+        index = policy.select(sm)
+        if not 0 <= index < len(warps):
+            raise LaunchError(
+                "scheduling policy %r selected warp index %r of %d "
+                "resident warps on SM %d"
+                % (policy.name, index, len(warps), sm.index)
+            )
+        warp = warps[index]
+        block = warp.block
+        quota = policy.quota(sm, warp)
+        issued = 0
+        turn_start = sm.cycles if tel is not None else 0
+        for _turn in range(quota):
+            cost, finished, mem_txns = warp.step()
+            sm.cycles += cost
+            totals[1] += mem_txns
+            totals[0] += 1
+            issued += 1
+            if finished:
+                block.lanes_finished(finished)
+            elif block.barrier_waiting:
+                block.maybe_release_barrier()
+            if warp.live == 0:
+                break
+        if record is not None:
+            record(sm.index, warp.warp_id, issued)
+        if tel is not None:
+            tel.record_turn(
+                sm.index, warp.warp_id, turn_start,
+                sm.cycles - turn_start, issued,
+            )
+        retired = warp.live == 0
+        if retired:
+            warps.pop(index)
+            if block.live_lanes == 0:
+                sm.resident_blocks -= 1
+        policy.issued(sm, index, retired)
+        if totals[0] > max_steps:
+            error = device._watchdog_error(totals[0], sms)
+            if tel is not None:
+                tel.publish_snapshot(error.snapshot)
+            error.schedule_trace = trace
+            raise error
+
+    def worker(owned):
+        while True:
+            sm_index = ring.acquire_turn(owned)
+            if sm_index is None:
+                return
+            sm = sms[sm_index]
+            try:
+                run_turn(sm)
+            except BaseException as error:  # propagate to the launcher
+                ring.fail(error)
+                return
+            ring.release_turn(sm_index, sm.busy())
+
+    workers = [
+        threading.Thread(
+            target=worker, args=(owned,), name="repro-sm-shard-%d" % w
+        )
+        for w, owned in enumerate(_partition(num_sms, shards))
+    ]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    if ring.failure is not None:
+        raise ring.failure
+    return totals[0], totals[1]

@@ -23,6 +23,12 @@ from repro.common.stats import Counters, PhaseCycles
 from repro.gpu.errors import MemoryFault
 from repro.gpu.events import OpKind, Phase
 
+# hot-path aliases: one global load instead of a class-attribute lookup per
+# recorded operation
+_READ = OpKind.READ
+_WRITE = OpKind.WRITE
+_L2_READ = OpKind.L2_READ
+
 
 class ThreadCtx:
     """Execution context of one simulated GPU thread (one warp lane)."""
@@ -39,11 +45,13 @@ class ThreadCtx:
         "stm",
         "cycles_total",
         "cycles_in_tx",
-        "_tx_window",
+        "_tx_phase_base",
+        "_tx_total_base",
         "_costs",
         "_check_bounds",
         "_phase_map",
         "_words",
+        "_words_len",
         "_mem_latency",
         "_l2_read_latency",
         "_atomic_latency",
@@ -64,7 +72,8 @@ class ThreadCtx:
         self.stm = None  # attached by the TM runtime, if any
         self.cycles_total = 0
         self.cycles_in_tx = 0
-        self._tx_window = None
+        self._tx_phase_base = None
+        self._tx_total_base = 0
         costs = config.costs
         self._costs = costs
         self._check_bounds = config.check_bounds
@@ -72,8 +81,12 @@ class ThreadCtx:
         # per-op latency constants
         self._phase_map = self.phase_cycles.cycles
         # the flat word array itself: GlobalMemory only ever mutates it in
-        # place (alloc extends), so reads/writes can index it directly
+        # place (alloc extends), so reads/writes can index it directly.
+        # Allocation is host-side and happens before launch, so the length
+        # is constant for the lifetime of this (per-launch) context and the
+        # bounds checks can compare against a cached int.
         self._words = mem.words
+        self._words_len = len(mem.words)
         self._mem_latency = costs.mem_latency
         self._l2_read_latency = costs.l2_read_latency
         self._atomic_latency = costs.atomic_latency
@@ -92,33 +105,50 @@ class ThreadCtx:
         else:
             phase_map[phase] = cycles
         self.cycles_total += cycles
-        window = self._tx_window
-        if window is not None:
-            self.cycles_in_tx += cycles
-            if phase in window:
-                window[phase] += cycles
-            else:
-                window[phase] = cycles
 
     def tx_window_begin(self):
-        """Start attributing costs to the current transaction attempt."""
-        self._tx_window = {}
+        """Start attributing costs to the current transaction attempt.
+
+        The window is a *snapshot*, not a mirror: instead of doubling every
+        charge into a per-window dict (two extra dict operations on the
+        hottest path in the simulator), remember the per-phase totals and
+        the cycle counter here, and let commit/abort recover the attempt's
+        costs as batch deltas against the snapshot.  Equivalent because
+        every latency charge goes through the phase map, so "charged while
+        the window was open" and "phase-map delta since the snapshot" are
+        the same set of cycles.
+        """
+        self._tx_phase_base = dict(self._phase_map)
+        self._tx_total_base = self.cycles_total
 
     def tx_window_commit(self):
         """The attempt committed: keep its costs where they were charged."""
-        self._tx_window = None
+        if self._tx_phase_base is not None:
+            self.cycles_in_tx += self.cycles_total - self._tx_total_base
+            self._tx_phase_base = None
 
     def tx_window_abort(self):
         """The attempt aborted: reclassify its costs to the aborted phase."""
-        window = self._tx_window
-        self._tx_window = None
-        if not window:
+        base = self._tx_phase_base
+        if base is None:
             return
+        self._tx_phase_base = None
+        self.cycles_in_tx += self.cycles_total - self._tx_total_base
+        phase_map = self._phase_map
         total = 0
-        for phase, cycles in window.items():
-            self.phase_cycles.add(phase, -cycles)
-            total += cycles
-        self.phase_cycles.add(Phase.ABORTED, total)
+        # New phases can only appear during the window, so iterating the
+        # current map covers every phase with a non-zero delta; values are
+        # rolled back in place (no key insertion mid-iteration).
+        for phase, cycles in phase_map.items():
+            delta = cycles - base.get(phase, 0)
+            if delta:
+                phase_map[phase] = cycles - delta
+                total += delta
+        if total:
+            if Phase.ABORTED in phase_map:
+                phase_map[Phase.ABORTED] += total
+            else:
+                phase_map[Phase.ABORTED] = total
 
     def _record(self, kind, addr, phase):
         warp = self.warp
@@ -167,34 +197,28 @@ class ThreadCtx:
         else:
             phase_map[phase] = cycles
         self.cycles_total += cycles
-        window = self._tx_window
-        if window is not None:
-            self.cycles_in_tx += cycles
-            if phase in window:
-                window[phase] += cycles
-            else:
-                window[phase] = cycles
 
     # ------------------------------------------------------------------
     # Globally-visible operations (each must be followed by a yield)
     # ------------------------------------------------------------------
     def gread(self, addr, phase=Phase.NATIVE):
         """Global memory read."""
-        if self._check_bounds:
-            self.mem.check(addr)
+        words = self._words
+        if self._check_bounds and not 0 <= addr < self._words_len:
+            self.mem.check(addr)  # raises with region diagnostics
         warp = self.warp
         warp.step_nops += 1
-        if OpKind.READ is warp.step_kind and phase is warp.step_phase:
+        if _READ is warp.step_kind and phase is warp.step_phase:
             warp.step_cur.append(addr)
         else:
             groups = warp.step_groups
-            tag = (OpKind.READ, phase)
+            tag = (_READ, phase)
             bucket = groups.get(tag)
             if bucket is None:
                 groups[tag] = bucket = [addr]
             else:
                 bucket.append(addr)
-            warp.step_kind = OpKind.READ
+            warp.step_kind = _READ
             warp.step_phase = phase
             warp.step_cur = bucket
         cycles = self._mem_latency
@@ -204,14 +228,7 @@ class ThreadCtx:
         else:
             phase_map[phase] = cycles
         self.cycles_total += cycles
-        window = self._tx_window
-        if window is not None:
-            self.cycles_in_tx += cycles
-            if phase in window:
-                window[phase] += cycles
-            else:
-                window[phase] = cycles
-        return self._words[addr]
+        return words[addr]
 
     def gread_l2(self, addr, phase=Phase.NATIVE):
         """Global memory read served from the L2 cache.
@@ -221,21 +238,25 @@ class ThreadCtx:
         4.1), so these reads are coherent device-wide but cost an L2 hit
         rather than a DRAM transaction.
         """
-        if self._check_bounds:
-            self.mem.check(addr)
+        words = self._words
+        if self._check_bounds and not 0 <= addr < self._words_len:
+            self.mem.check(addr)  # raises with region diagnostics
         warp = self.warp
         warp.step_nops += 1
-        if OpKind.L2_READ is warp.step_kind and phase is warp.step_phase:
-            warp.step_cur.append(addr)
+        if _L2_READ is warp.step_kind and phase is warp.step_phase:
+            # joining an existing L2 group: the address is not recorded —
+            # the L2 cost fold is flat per group (no coalescing over the
+            # address column), so only the group's existence matters
+            pass
         else:
             groups = warp.step_groups
-            tag = (OpKind.L2_READ, phase)
+            tag = (_L2_READ, phase)
             bucket = groups.get(tag)
             if bucket is None:
                 groups[tag] = bucket = [addr]
             else:
                 bucket.append(addr)
-            warp.step_kind = OpKind.L2_READ
+            warp.step_kind = _L2_READ
             warp.step_phase = phase
             warp.step_cur = bucket
         cycles = self._l2_read_latency
@@ -245,32 +266,26 @@ class ThreadCtx:
         else:
             phase_map[phase] = cycles
         self.cycles_total += cycles
-        window = self._tx_window
-        if window is not None:
-            self.cycles_in_tx += cycles
-            if phase in window:
-                window[phase] += cycles
-            else:
-                window[phase] = cycles
-        return self._words[addr]
+        return words[addr]
 
     def gwrite(self, addr, value, phase=Phase.NATIVE):
         """Global memory write."""
-        if self._check_bounds:
-            self.mem.check(addr)
+        words = self._words
+        if self._check_bounds and not 0 <= addr < self._words_len:
+            self.mem.check(addr)  # raises with region diagnostics
         warp = self.warp
         warp.step_nops += 1
-        if OpKind.WRITE is warp.step_kind and phase is warp.step_phase:
+        if _WRITE is warp.step_kind and phase is warp.step_phase:
             warp.step_cur.append(addr)
         else:
             groups = warp.step_groups
-            tag = (OpKind.WRITE, phase)
+            tag = (_WRITE, phase)
             bucket = groups.get(tag)
             if bucket is None:
                 groups[tag] = bucket = [addr]
             else:
                 bucket.append(addr)
-            warp.step_kind = OpKind.WRITE
+            warp.step_kind = _WRITE
             warp.step_phase = phase
             warp.step_cur = bucket
         cycles = self._mem_latency
@@ -280,33 +295,26 @@ class ThreadCtx:
         else:
             phase_map[phase] = cycles
         self.cycles_total += cycles
-        window = self._tx_window
-        if window is not None:
-            self.cycles_in_tx += cycles
-            if phase in window:
-                window[phase] += cycles
-            else:
-                window[phase] = cycles
-        self._words[addr] = value
+        words[addr] = value
 
     def atomic_cas(self, addr, expected, new, phase=Phase.NATIVE):
         """Atomic compare-and-swap; returns the old value."""
-        if self._check_bounds:
-            self.mem.check(addr)
+        if self._check_bounds and not 0 <= addr < self._words_len:
+            self.mem.check(addr)  # raises with region diagnostics
         self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
         return self.mem.atomic_cas(addr, expected, new)
 
     def atomic_or(self, addr, value, phase=Phase.NATIVE):
         """Atomic bitwise-or; returns the old value (Algorithm 3 line 39)."""
-        if self._check_bounds:
-            self.mem.check(addr)
+        if self._check_bounds and not 0 <= addr < self._words_len:
+            self.mem.check(addr)  # raises with region diagnostics
         self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
         return self.mem.atomic_or(addr, value)
 
     def atomic_add(self, addr, value, phase=Phase.NATIVE):
         """Atomic add; returns the old value."""
-        if self._check_bounds:
-            self.mem.check(addr)
+        if self._check_bounds and not 0 <= addr < self._words_len:
+            self.mem.check(addr)  # raises with region diagnostics
         self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
         return self.mem.atomic_add(addr, value)
 
@@ -316,15 +324,15 @@ class ThreadCtx:
 
     def atomic_sub(self, addr, value, phase=Phase.NATIVE):
         """Atomic subtract; returns the old value."""
-        if self._check_bounds:
-            self.mem.check(addr)
+        if self._check_bounds and not 0 <= addr < self._words_len:
+            self.mem.check(addr)  # raises with region diagnostics
         self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
         return self.mem.atomic_sub(addr, value)
 
     def atomic_exch(self, addr, value, phase=Phase.NATIVE):
         """Atomic exchange; returns the old value."""
-        if self._check_bounds:
-            self.mem.check(addr)
+        if self._check_bounds and not 0 <= addr < self._words_len:
+            self.mem.check(addr)  # raises with region diagnostics
         self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
         return self.mem.atomic_exch(addr, value)
 
@@ -395,13 +403,6 @@ class ThreadCtx:
         else:
             phase_map[phase] = cycles
         self.cycles_total += cycles
-        window = self._tx_window
-        if window is not None:
-            self.cycles_in_tx += cycles
-            if phase in window:
-                window[phase] += cycles
-            else:
-                window[phase] = cycles
 
     def work(self, cycles, phase=Phase.NATIVE):
         """Model ``cycles`` of native (non-memory) computation.
@@ -417,13 +418,6 @@ class ThreadCtx:
         else:
             phase_map[phase] = cycles
         self.cycles_total += cycles
-        window = self._tx_window
-        if window is not None:
-            self.cycles_in_tx += cycles
-            if phase in window:
-                window[phase] += cycles
-            else:
-                window[phase] = cycles
         warp = self.warp
         if cycles > warp.step_work:
             warp.step_work = cycles

@@ -23,6 +23,7 @@ throughput cost (DESIGN.md section 4):
 
 from repro.gpu.errors import GpuError
 from repro.gpu.events import OpKind
+from repro.gpu.soa import LaneArrays, distinct_lines, max_bank_conflicts, max_multiplicity
 from repro.gpu.thread import ThreadCtx
 
 # cost-fold loop constants (module-level loads are cheaper than attributes)
@@ -32,6 +33,16 @@ _ATOMIC = OpKind.ATOMIC
 _FENCE = OpKind.FENCE
 _L2_READ = OpKind.L2_READ
 _SMEM = OpKind.SMEM
+
+#: The one sentence every lockstep-protocol violation cites, so kernel
+#: authors meet identical wording whether they passed a non-generator
+#: kernel or performed several globally-visible operations in one
+#: resumption (tests/gpu/test_warp_lockstep.py asserts all raise sites
+#: share it).
+LOCKSTEP_PROTOCOL_HINT = (
+    "the lockstep protocol requires exactly one globally-visible operation "
+    "per resumption, with a yield at every warp-step boundary"
+)
 
 
 class Lane:
@@ -125,10 +136,12 @@ class Warp:
         """Register a lane; called by the device during launch."""
         lane = Lane(gen, tc)
         self.lanes.append(lane)
-        # the stepper iterates (gen, lane) pairs: unpacking is cheaper than
-        # per-lane attribute loads, and retired lanes are dropped from this
-        # list so long-lived divergent warps don't re-scan them
-        self.active.append((gen, lane))
+        # the stepper iterates (resume, lane) pairs, where resume is the
+        # generator's bound __next__: unpacking plus a direct call is
+        # cheaper than per-lane attribute loads and the ``next`` builtin
+        # dispatch, and retired lanes are dropped from this list so
+        # long-lived divergent warps don't re-scan them
+        self.active.append((gen.__next__, lane))
         self.live += 1
 
     @property
@@ -148,8 +161,9 @@ class Warp:
         attribute load per step).
         """
         self.step_nops = 0
+        # a None kind can never match a recorded kind, so resetting it alone
+        # invalidates the cached (kind, phase, bucket) triple
         self.step_kind = None
-        self.step_phase = None
         self.step_groups.clear()
         self.step_work = 0
         self.step_extra = 0
@@ -157,30 +171,33 @@ class Warp:
         compute_lanes = 0
         strict = self._strict
         finished = 0
-        for gen, lane in self.active:
+        prev_nops = 0
+        for resume, lane in self.active:
             # ops-per-resumption is derived from the warp-level record count
             # (step_nops) rather than a per-lane counter: every record-path
             # op bumps step_nops exactly once, so the delta across next() is
             # the lane's op count without a per-lane store + per-op increment
-            prev_nops = self.step_nops
             try:
-                next(gen)
+                resume()
             except StopIteration:
                 tc = lane.tc
                 lane.done = True
                 self.live -= 1
                 finished += 1
                 self.waiting.pop(tc.lane_id, None)
-                ops = self.step_nops - prev_nops
+                nops = self.step_nops
+                ops = nops - prev_nops
+                prev_nops = nops
                 if strict and ops > 1:
                     raise GpuError(
                         "lane %d of warp %d performed %d globally-visible "
-                        "operations in one step; lockstep kernels must "
-                        "yield after each operation"
-                        % (tc.lane_id, self.warp_id, ops)
+                        "operations in one step; %s"
+                        % (tc.lane_id, self.warp_id, ops, LOCKSTEP_PROTOCOL_HINT)
                     )
                 continue
-            ops = self.step_nops - prev_nops
+            nops = self.step_nops
+            ops = nops - prev_nops
+            prev_nops = nops
             if ops == 0:
                 # The final StopIteration resumption is a simulator artifact,
                 # not an instruction; only live op-less resumptions count as
@@ -189,16 +206,47 @@ class Warp:
             elif strict and ops > 1:
                 raise GpuError(
                     "lane %d of warp %d performed %d globally-visible "
-                    "operations in one step; lockstep kernels must yield "
-                    "after each operation"
-                    % (lane.tc.lane_id, self.warp_id, ops)
+                    "operations in one step; %s"
+                    % (lane.tc.lane_id, self.warp_id, ops, LOCKSTEP_PROTOCOL_HINT)
                 )
         if finished:
             self.active = [entry for entry in self.active if not entry[1].done]
         if self.waiting:
             self._maybe_reconverge()
         self.steps += 1
-        return self._step_cost(compute_lanes), finished, self.step_mem_txns
+        # Cost fold, inlined from _step_cost (one call per simulated step
+        # adds up): lockstep lanes overwhelmingly issue the same
+        # instruction, so the records usually form exactly one issue group
+        # whose kind and address array are still cached on the warp — that
+        # case skips the group-table walk, and an L2 metadata probe (the
+        # STM runtimes' spin polls, the single most common instruction in
+        # every contended run) resolves to a flat cost without touching
+        # the address column at all.
+        cost = self.step_work + self.step_extra
+        if not self.step_nops:
+            if compute_lanes and not cost:
+                # A pure bookkeeping step still occupies an issue slot.
+                cost = self._issue_cost
+            return cost, finished, self.step_mem_txns
+        groups = self.step_groups
+        if len(groups) == 1:
+            kind = self.step_kind
+            if kind is _L2_READ:
+                return (
+                    cost + self._issue_cost + self._l2_read_cost,
+                    finished,
+                    self.step_mem_txns,
+                )
+            return (
+                cost + self._issue_cost + self._group_cost(kind, self.step_cur),
+                finished,
+                self.step_mem_txns,
+            )
+        issue_cost = self._issue_cost
+        group_cost = self._group_cost
+        for tag, addrs in groups.items():
+            cost += issue_cost + group_cost(tag[0], addrs)
+        return cost, finished, self.step_mem_txns
 
     def _maybe_reconverge(self):
         """Release a reconvergence point once all live lanes reached it."""
@@ -210,60 +258,61 @@ class Warp:
             self.reconv_gen += 1
             waiting.clear()
 
-    def _step_cost(self, compute_lanes):
-        """Fold this step's operation records into cycles."""
-        cost = self.step_work + self.step_extra
-        if not self.step_nops:
-            if compute_lanes and not self.step_work and not self.step_extra:
-                # A pure bookkeeping step still occupies an issue slot.
-                cost += self._issue_cost
-            return cost
-        issue_cost = self._issue_cost
-        line_words = self._line_words
-        mem_txns = 0
-        for (kind, _phase), addrs in self.step_groups.items():
-            cost += issue_cost
-            if kind == _READ or kind == _WRITE:
-                if len(addrs) == 1:
-                    # single access: one line, full latency
-                    cost += self._mem_txn_cost
-                    mem_txns += 1
-                else:
-                    lines = {addr // line_words for addr in addrs}
-                    # first line pays full latency; the rest pipeline
-                    # behind it
-                    cost += self._mem_txn_cost
-                    cost += self._mem_pipeline_cost * (len(lines) - 1)
-                    mem_txns += len(lines)
-            elif kind == _ATOMIC:
-                distinct = len(set(addrs))
-                if distinct == len(addrs):
-                    # all-distinct addresses: no same-address serialization
-                    cost += self._atomic_cost
-                else:
-                    multiplicity = {}
-                    get = multiplicity.get
-                    for addr in addrs:
-                        multiplicity[addr] = get(addr, 0) + 1
-                    cost += self._atomic_cost * max(multiplicity.values())
-                mem_txns += distinct
-            elif kind == _L2_READ:
-                # L2 hit: flat cost per instruction, no DRAM transaction
-                cost += self._l2_read_cost
-            elif kind == _SMEM:
-                # bank conflicts: same-bank accesses in one instruction
-                # serialize; conflict-free warps pay one shared-memory cycle
-                banks = self._smem_banks
-                per_bank = {}
-                get = per_bank.get
-                for addr in addrs:
-                    bank = addr % banks
-                    per_bank[bank] = get(bank, 0) + 1
-                cost += self._smem_cost * max(per_bank.values())
-            elif kind == _FENCE:
-                cost += self._fence_cost
-        self.step_mem_txns += mem_txns
-        return cost
+    def _group_cost(self, kind, addrs):
+        """Cycles charged by one issue group; accumulates ``step_mem_txns``.
+
+        The address array is the struct-of-arrays half of the fold: a flat
+        pending-address column per group, reduced in batch (all-same spin
+        probes short-circuit on two compares; wider arrays take the tiered
+        scalar/NumPy reductions in :mod:`repro.gpu.soa`).
+        """
+        if kind is _L2_READ:
+            # L2 hit: flat cost per instruction, no DRAM transaction
+            return self._l2_read_cost
+        if kind is _READ or kind is _WRITE:
+            n = len(addrs)
+            if n == 1:
+                # single access: one line, full latency
+                self.step_mem_txns += 1
+                return self._mem_txn_cost
+            first = addrs[0]
+            if first == addrs[-1] and addrs.count(first) == n:
+                lines = 1
+            else:
+                lines = distinct_lines(addrs, self._line_words)
+            self.step_mem_txns += lines
+            # first line pays full latency; the rest pipeline behind it
+            return self._mem_txn_cost + self._mem_pipeline_cost * (lines - 1)
+        if kind is _ATOMIC:
+            n = len(addrs)
+            if n == 1:
+                self.step_mem_txns += 1
+                return self._atomic_cost
+            first = addrs[0]
+            if first == addrs[-1] and addrs.count(first) == n:
+                # whole-warp pileup on one word: fully serialized
+                self.step_mem_txns += 1
+                return self._atomic_cost * n
+            deepest, distinct = max_multiplicity(addrs)
+            self.step_mem_txns += distinct
+            if deepest == 1:
+                # all-distinct addresses: no same-address serialization
+                return self._atomic_cost
+            return self._atomic_cost * deepest
+        if kind is _SMEM:
+            # bank conflicts: same-bank accesses in one instruction
+            # serialize; conflict-free warps pay one shared-memory cycle
+            if len(addrs) == 1:
+                return self._smem_cost
+            return self._smem_cost * max_bank_conflicts(addrs, self._smem_banks)
+        if kind is _FENCE:
+            return self._fence_cost
+        return 0
+
+    def lane_snapshot(self):
+        """Struct-of-arrays view of this warp's per-lane state
+        (:class:`repro.gpu.soa.LaneArrays`), materialized on demand."""
+        return LaneArrays(self)
 
 
 class BlockState:
@@ -302,6 +351,18 @@ class BlockState:
         self.live_lanes -= 1
         self.maybe_release_barrier()
 
+    def lanes_finished(self, count):
+        """Batch form of :meth:`lane_finished` for ``count`` retirements.
+
+        One barrier check after the batch is equivalent to checking after
+        every decrement: a waiting lane is live and unfinishable, so
+        ``barrier_waiting <= live_lanes`` holds before and after the batch,
+        and any intermediate release condition still holds at the end.
+        """
+        self.live_lanes -= count
+        if self.barrier_waiting:
+            self.maybe_release_barrier()
+
 
 def build_block(index, block_threads, first_tid, mem, config, kernel, args, attach,
                 smem_words=0, ctx_factory=None):
@@ -327,8 +388,8 @@ def build_block(index, block_threads, first_tid, mem, config, kernel, args, atta
             gen = kernel(tc, *args)
             if not hasattr(gen, "send"):
                 raise GpuError(
-                    "kernel %r is not a generator function; kernels must "
-                    "yield at warp-step boundaries" % getattr(kernel, "__name__", kernel)
+                    "kernel %r is not a generator function; %s"
+                    % (getattr(kernel, "__name__", kernel), LOCKSTEP_PROTOCOL_HINT)
                 )
             warp.add_lane(gen, tc)
         block.warps.append(warp)

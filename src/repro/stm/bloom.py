@@ -24,21 +24,25 @@ class BloomFilter:
         self.num_hashes = num_hashes
         self.word = 0
 
-    def _probes(self, key):
+    def _mask(self, key):
+        """OR of the probe bits of ``key`` (double hashing: probe *i* is
+        ``(h1 + i*h2) % bits``).  A plain int, so membership is one AND."""
         h1 = (key * _MIX1) & 0xFFFFFFFF
         h2 = ((key ^ (key >> 7)) * _MIX2) & 0xFFFFFFFF | 1
-        for i in range(self.num_hashes):
-            yield ((h1 + i * h2) & 0xFFFFFFFF) % self.bits
+        bits = self.bits
+        mask = 1 << h1 % bits
+        for i in range(1, self.num_hashes):
+            mask |= 1 << ((h1 + i * h2) & 0xFFFFFFFF) % bits
+        return mask
 
     def add(self, key):
         """Insert ``key``."""
-        for bit in self._probes(key):
-            self.word |= 1 << bit
+        self.word |= self._mask(key)
 
     def might_contain(self, key):
         """False means definitely absent; True means possibly present."""
-        word = self.word
-        return all(word & (1 << bit) for bit in self._probes(key))
+        mask = self._mask(key)
+        return self.word & mask == mask
 
     def clear(self):
         """Reset to empty (transaction begin)."""

@@ -38,7 +38,10 @@ class LockEntry:
 class LockLog:
     """Order-preserving hashed lock-log of one transaction."""
 
-    __slots__ = ("num_locks", "num_buckets", "_buckets", "_ids", "comparisons", "count")
+    __slots__ = (
+        "num_locks", "num_buckets", "_buckets", "_ids", "comparisons", "count",
+        "_flat",
+    )
 
     def __init__(self, num_locks, num_buckets=16):
         if num_buckets < 1:
@@ -49,6 +52,10 @@ class LockLog:
         self._ids = {}
         self.comparisons = 0
         self.count = 0
+        # cached flattened (sorted) entry list; commit-time lock walks
+        # iterate the log once per acquisition attempt, so the flatten is
+        # done once per mutation instead of once per walk
+        self._flat = None
 
     def _bucket_of(self, lock_id):
         # Order-preserving partition of [0, num_locks) into num_buckets ranges.
@@ -81,6 +88,7 @@ class LockLog:
         bucket.insert(position, entry)
         self._ids[lock_id] = entry
         self.count += 1
+        self._flat = None
         return entry
 
     def clear(self):
@@ -89,6 +97,7 @@ class LockLog:
             bucket.clear()
         self._ids.clear()
         self.count = 0
+        self._flat = None
 
     def __len__(self):
         return self.count
@@ -101,10 +110,13 @@ class LockLog:
         return self._ids.get(lock_id)
 
     def __iter__(self):
-        """Yield entries in globally sorted (ascending lock id) order."""
-        for bucket in self._buckets:
-            for entry in bucket:
-                yield entry
+        """Iterate entries in globally sorted (ascending lock id) order."""
+        flat = self._flat
+        if flat is None:
+            self._flat = flat = [
+                entry for bucket in self._buckets for entry in bucket
+            ]
+        return iter(flat)
 
     def sorted_ids(self):
         """All lock ids in acquisition order (for tests)."""

@@ -56,21 +56,33 @@ class CglTx(TxThread):
         tc.tx_window_begin()
         self._reads = []
         self._writes = {}
-        runtime.stats.add("begins")
+        stats_add = runtime.stats.add
+        stats_add("begins")
+        lock_addr = runtime.lock_addr
+        gread_l2 = tc.gread_l2
+        locks_phase = Phase.LOCKS
+        # Spin-loop counters batch into locals and flush once after the
+        # lock is acquired: same totals, no per-iteration counter traffic.
+        spin_reads = 0
+        acquire_failures = 0
         while True:
             # Test-and-test-and-set: spin on a plain read, CAS only when the
             # lock looks free (keeps the atomic unit from serializing every
             # spinning lane every cycle).
-            if tc.gread_l2(runtime.lock_addr, Phase.LOCKS) != 0:
+            if gread_l2(lock_addr, locks_phase):
                 yield
-                runtime.stats.add("lock_spin_reads")
+                spin_reads += 1
                 continue
             yield
-            observed = tc.atomic_cas(runtime.lock_addr, 0, 1, Phase.LOCKS)
+            observed = tc.atomic_cas(lock_addr, 0, 1, locks_phase)
             yield
             if observed == 0:
+                if spin_reads:
+                    stats_add("lock_spin_reads", spin_reads)
+                if acquire_failures:
+                    stats_add("lock_acquire_failures", acquire_failures)
                 return
-            runtime.stats.add("lock_acquire_failures")
+            acquire_failures += 1
 
     def tx_read(self, addr):
         tc = self.tc

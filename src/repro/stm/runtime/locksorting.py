@@ -29,7 +29,7 @@ from repro.stm.clock import GlobalClock
 from repro.stm.locklog import LockLog
 from repro.stm.runtime.base import TmRuntime, TxThread
 from repro.stm.rwset import LogCosting, ReadSet, WriteSet
-from repro.stm.versionlock import GlobalLockTable, is_locked, version_of
+from repro.stm.versionlock import GlobalLockTable
 
 
 class LockSortingRuntime(TmRuntime):
@@ -148,11 +148,14 @@ class LockSortingTx(TxThread):
         transaction at the final ``self.snapshot``."""
         tc = self.tc
         runtime = self.runtime
-        lock_table = runtime.lock_table
+        lock_addr_for = runtime.lock_table.lock_addr_for
+        gread = tc.gread
+        gread_l2 = tc.gread_l2
+        consistency_phase = Phase.CONSISTENCY
         self.snapshot = version
         while True:
             for addr, logged in self.reads:
-                current = tc.gread(addr, Phase.CONSISTENCY)
+                current = gread(addr, consistency_phase)
                 yield
                 if current != logged:
                     return False
@@ -160,10 +163,11 @@ class LockSortingTx(TxThread):
             yield
             restart = False
             for addr, _logged in self.reads:
-                word = tc.gread_l2(lock_table.lock_addr_for(addr), Phase.CONSISTENCY)
+                word = gread_l2(lock_addr_for(addr), consistency_phase)
                 yield
-                observed_version = version_of(word)
-                if is_locked(word) or observed_version > self.snapshot:
+                # inlined versionlock.is_locked / version_of
+                observed_version = word >> 1
+                if word & 1 or observed_version > self.snapshot:
                     self.snapshot = observed_version
                     restart = True
                     break
@@ -190,14 +194,23 @@ class LockSortingTx(TxThread):
         tc.fence(Phase.CONSISTENCY)
         yield
         # consistency checking (lines 27-33): wait out committing lockers,
-        # then compare the stripe version against the snapshot.
+        # then compare the stripe version against the snapshot.  The lock
+        # address is loop-invariant and the wait counter batches into a
+        # local (flushed once): the spin body is the contended-read hot
+        # path.  ``word & 1`` is the inlined lock bit (versionlock.is_locked).
+        lock_addr = runtime.lock_table.lock_addr_for(addr)
+        gread_l2 = tc.gread_l2
+        consistency_phase = Phase.CONSISTENCY
+        waits = 0
         while True:
-            word = tc.gread_l2(runtime.lock_table.lock_addr_for(addr), Phase.CONSISTENCY)
+            word = gread_l2(lock_addr, consistency_phase)
             yield
-            if not is_locked(word):
+            if not word & 1:
                 break
-            runtime.stats.add("read_waits_on_lock")
-        version = version_of(word)
+            waits += 1
+        if waits:
+            runtime.stats.add("read_waits_on_lock", waits)
+        version = word >> 1
         if version > self.snapshot:
             if runtime.use_vbv:
                 consistent = yield from self._post_validation(version)
@@ -232,9 +245,9 @@ class LockSortingTx(TxThread):
     # ------------------------------------------------------------------
     def _vbv(self, phase):
         """Value-based validation over the whole read-set (lines 62-66)."""
-        tc = self.tc
+        gread = self.tc.gread
         for addr, logged in self.reads:
-            current = tc.gread(addr, phase)
+            current = gread(addr, phase)
             yield
             if current != logged:
                 return False
@@ -245,30 +258,39 @@ class LockSortingTx(TxThread):
         (lines 43-52).  Returns True when every lock was acquired."""
         tc = self.tc
         runtime = self.runtime
-        lock_table = runtime.lock_table
+        lock_base = runtime.lock_table.base
+        atomic_or = tc.atomic_or
+        held = self._held
+        snapshot = self.snapshot
+        locks_phase = Phase.LOCKS
         self._failed_lock = None
         for entry in self.locklog:
-            word = tc.atomic_or(lock_table.lock_addr(entry.lock_id), 1, Phase.LOCKS)
+            lock_id = entry.lock_id
+            # lock_table.lock_addr and versionlock.is_locked/version_of
+            # inlined (base + id, bit 0, >> 1): this loop runs once per
+            # logged lock per acquisition attempt
+            word = atomic_or(lock_base + lock_id, 1, locks_phase)
             yield
-            if is_locked(word):
+            if word & 1:
                 runtime.stats.add("lock_acquire_failures")
-                self._failed_lock = entry.lock_id
+                self._failed_lock = lock_id
                 yield from self._release_locks()
                 return False
-            self._held[entry.lock_id] = word
-            if entry.read and version_of(word) > self.snapshot:
+            held[lock_id] = word
+            if entry.read and word >> 1 > snapshot:
                 self.pass_tbv = False
         return True
 
     def _wait_lock_free(self, lock_id):
         """Spin until global lock ``lock_id`` is released.  Bounded: locks
         are only held by committing transactions, which finish."""
-        tc = self.tc
+        gread_l2 = self.tc.gread_l2
         lock_addr = self.runtime.lock_table.lock_addr(lock_id)
+        locks_phase = Phase.LOCKS
         while True:
-            word = tc.gread_l2(lock_addr, Phase.LOCKS)
+            word = gread_l2(lock_addr, locks_phase)
             yield
-            if not is_locked(word):
+            if not word & 1:  # inlined versionlock.is_locked
                 return
 
     def _acquire_phase(self):
@@ -302,25 +324,29 @@ class LockSortingTx(TxThread):
     def _release_locks(self):
         """Release every held lock, restoring its pre-acquisition word
         (lines 53-55)."""
-        tc = self.tc
-        lock_table = self.runtime.lock_table
+        gwrite = self.tc.gwrite
+        lock_base = self.runtime.lock_table.base
+        locks_phase = Phase.LOCKS
         for lock_id, word in self._held.items():
-            tc.gwrite(lock_table.lock_addr(lock_id), word, Phase.LOCKS)
+            gwrite(lock_base + lock_id, word, locks_phase)
             yield
         self._held.clear()
 
     def _release_and_update_locks(self, version):
         """Unlock; stripes written get the new version (lines 56-61)."""
-        tc = self.tc
-        lock_table = self.runtime.lock_table
+        gwrite = self.tc.gwrite
+        lock_base = self.runtime.lock_table.base
+        held = self._held
+        new_version_word = version << 1
+        locks_phase = Phase.LOCKS
         for entry in self.locklog:
             if entry.write:
-                new_word = version << 1
+                new_word = new_version_word
             else:
-                new_word = self._held[entry.lock_id]
-            tc.gwrite(lock_table.lock_addr(entry.lock_id), new_word, Phase.LOCKS)
+                new_word = held[entry.lock_id]
+            gwrite(lock_base + entry.lock_id, new_word, locks_phase)
             yield
-        self._held.clear()
+        held.clear()
 
     def tx_commit(self):
         """TXCommit (lines 67-85); returns True when the transaction
@@ -355,8 +381,10 @@ class LockSortingTx(TxThread):
 
         tc.fence(Phase.COMMIT)
         yield
+        gwrite = tc.gwrite
+        commit_phase = Phase.COMMIT
         for addr, value in self.writes.items():
-            tc.gwrite(addr, value, Phase.COMMIT)
+            gwrite(addr, value, commit_phase)
             yield
         tc.fence(Phase.COMMIT)
         yield

@@ -92,6 +92,36 @@ class TestLockstepOrdering:
         with pytest.raises(GpuError, match="generator"):
             dev.launch(not_a_kernel, 1, 2)
 
+    def test_all_protocol_violations_share_one_hint(self):
+        """Every lockstep-protocol raise site quotes LOCKSTEP_PROTOCOL_HINT.
+
+        Three distinct violations — two ops from a live lane, two ops in a
+        lane's final (StopIteration) resumption, and a non-generator
+        kernel — must all carry the same canonical protocol hint, so the
+        diagnostics stay unified as the raise sites evolve.
+        """
+        from repro.gpu.warp import LOCKSTEP_PROTOCOL_HINT
+
+        def two_ops_live(tc, base):
+            tc.gwrite(base, 1)
+            tc.gwrite(base, 2)  # second op without a yield
+            yield
+
+        def two_ops_final(tc, base):
+            yield
+            tc.gwrite(base, 1)
+            tc.gwrite(base, 2)  # then falls off the end: same resumption
+
+        def not_a_kernel(tc, base):
+            return 42
+
+        for kernel in (two_ops_live, two_ops_final, not_a_kernel):
+            dev = make_device(warp_size=2)
+            base = dev.mem.alloc(2)
+            with pytest.raises(GpuError) as excinfo:
+                dev.launch(kernel, 1, 2, args=(base,))
+            assert LOCKSTEP_PROTOCOL_HINT in str(excinfo.value), kernel.__name__
+
 
 class TestReconvergence:
     def test_reconverge_releases_all_lanes(self):
