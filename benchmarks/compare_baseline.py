@@ -102,14 +102,13 @@ def main(argv=None):
             status = 1
             continue
         ratio = now["steps_per_sec"] / then["steps_per_sec"]
-        if ratio < 1.0 - args.threshold:
-            print("%-20s REGRESSION  %10.1f -> %10.1f steps/sec (%.0f%% of baseline)"
-                  % (case, then["steps_per_sec"], now["steps_per_sec"], 100 * ratio))
-            if not args.lenient:
-                status = 1
-        else:
-            print("%-20s ok          %10.1f -> %10.1f steps/sec (%.0f%% of baseline)"
-                  % (case, then["steps_per_sec"], now["steps_per_sec"], 100 * ratio))
+        delta = now["steps_per_sec"] - then["steps_per_sec"]
+        verdict = "ok" if ratio >= 1.0 - args.threshold else "REGRESSION"
+        print("%-20s %-11s %10.1f -> %10.1f steps/sec (%+10.1f, %.0f%% of baseline)"
+              % (case, verdict, then["steps_per_sec"], now["steps_per_sec"],
+                 delta, 100 * ratio))
+        if verdict == "REGRESSION" and not args.lenient:
+            status = 1
     return status
 
 

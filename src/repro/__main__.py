@@ -1,0 +1,23 @@
+"""``python -m repro`` — the top-level CLI dispatcher.
+
+``python -m repro service ...`` drives the ledger-service benchmark
+(:mod:`repro.service.cli`); every other target is forwarded verbatim to
+``python -m repro.harness`` so both spellings keep working.
+"""
+
+import sys
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "service":
+        from repro.service.cli import main as service_main
+
+        return service_main(argv[1:])
+    from repro.harness.__main__ import main as harness_main
+
+    return harness_main(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -111,6 +111,11 @@ class Device:
         # keeps every launch on the uninstrumented paths
         self.fault_injector = None
         self.sanitizer = None
+        # lifetime launch accounting: long-running callers (the ledger
+        # service's batching engine) read these instead of instrumenting
+        # every launch site; plain integer adds, free on the hot path
+        self.launch_count = 0
+        self.launched_cycles = 0
 
     def launch(self, kernel, grid_blocks, block_threads, args=(), attach=None,
                smem_words=0, policy=None, record_schedule=None):
@@ -228,6 +233,8 @@ class Device:
                 warp_steps_per_turn=config.warp_steps_per_turn,
             )
             result.schedule_trace = trace
+        self.launch_count += 1
+        self.launched_cycles += result.cycles
         return result
 
     def _issue_round_robin(self, sms, config, trace=None):

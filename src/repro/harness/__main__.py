@@ -95,8 +95,11 @@ TARGETS = {
     "table2": experiments.table2,
 }
 
-#: workload names the ``trace`` target accepts for single-run timelines
-TRACE_WORKLOADS = ("ra", "ht", "eb", "lb", "gn", "km")
+#: workload names the ``trace`` target accepts for single-run timelines —
+#: the registry's sorted roster, so new workloads are traceable on arrival
+from repro.workloads import workload_names as _workload_names
+
+TRACE_WORKLOADS = _workload_names()
 
 
 def run_fuzz(args, jobs):

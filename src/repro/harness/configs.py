@@ -69,6 +69,11 @@ def bench_workload_params(name):
     if name == "km":
         return dict(num_points=512, dims=4, k=8, grid=8, block=32,
                     compute_factor=40)
+    if name == "lg":
+        # accounts / locks = 2: moderately hot ledger; skew 0.8 puts ~40%
+        # of traffic on the hottest 1% of accounts
+        return dict(num_accounts=16384, grid=16, block=32, txs_per_thread=2,
+                    skew=0.8)
     raise ValueError("no benchmark parameters for workload %r" % name)
 
 
@@ -89,6 +94,9 @@ def test_workload_params(name):
                     match_grid=2, match_block=8)
     if name == "km":
         return dict(num_points=64, dims=2, k=4, grid=2, block=8)
+    if name == "lg":
+        return dict(num_accounts=128, grid=2, block=16, txs_per_thread=2,
+                    skew=0.8)
     raise ValueError("no test parameters for workload %r" % name)
 
 

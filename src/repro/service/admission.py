@@ -1,0 +1,104 @@
+"""Admission control and backpressure primitives of the ledger server.
+
+Both primitives are driven purely by the *simulated* clock and integer
+arithmetic, so a run replays bit-identically:
+
+* :class:`TokenBucket` — admission control on offered load.  Refill is
+  computed in millitokens with an explicit carry (no floats), so the
+  token stream at cycle ``t`` is a pure function of ``(rate, burst, t)``
+  regardless of how the intervening refills were chunked.
+* :class:`BoundedQueue` — the ingress queue with shed-and-count
+  semantics: an arrival that finds the queue full is dropped and
+  counted, never blocked on (the server is open-loop; blocking the
+  client is not an option the model offers).
+"""
+
+from collections import deque
+
+#: millitokens per token: refill math stays integral at 3 decimal places
+_SCALE = 1000
+
+
+class TokenBucket:
+    """Token-bucket admission control over simulated cycles.
+
+    ``rate_per_kcycle`` tokens accrue per 1000 cycles, up to ``burst``
+    tokens.  The bucket starts full.  ``try_take(now)`` refills up to
+    ``now`` and consumes one token if available.
+    """
+
+    __slots__ = ("rate_millitokens", "capacity_millitokens", "level",
+                 "last_cycle", "denied")
+
+    def __init__(self, rate_per_kcycle, burst):
+        if rate_per_kcycle <= 0:
+            raise ValueError("token rate must be positive, got %r" % rate_per_kcycle)
+        if burst < 1:
+            raise ValueError("burst must be >= 1, got %r" % burst)
+        #: millitokens accrued per kcycle (rates down to 0.001 tx/kcycle
+        #: stay exact)
+        self.rate_millitokens = int(round(rate_per_kcycle * _SCALE)) or 1
+        self.capacity_millitokens = burst * _SCALE
+        self.level = self.capacity_millitokens
+        self.last_cycle = 0
+        self.denied = 0
+
+    def _accrued(self, cycle):
+        """Millitokens accrued from cycle 0 to ``cycle`` — an absolute
+        function of time, so refill credit between two cycles is the
+        difference of two accruals and cannot depend on how the
+        intervening interval was chunked into refill calls."""
+        return cycle * self.rate_millitokens // _SCALE
+
+    def _refill(self, now):
+        if now > self.last_cycle:
+            credit = self._accrued(now) - self._accrued(self.last_cycle)
+            if credit > 0:
+                self.level = min(self.capacity_millitokens, self.level + credit)
+            self.last_cycle = now
+
+    def try_take(self, now):
+        """Admit one transaction at cycle ``now``; count the denial if not."""
+        self._refill(now)
+        if self.level >= _SCALE:
+            self.level -= _SCALE
+            return True
+        self.denied += 1
+        return False
+
+
+class BoundedQueue:
+    """The ingress queue: bounded, shed-and-count on overflow."""
+
+    __slots__ = ("capacity", "items", "shed", "max_depth")
+
+    def __init__(self, capacity):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1, got %r" % capacity)
+        self.capacity = capacity
+        self.items = deque()
+        self.shed = 0
+        self.max_depth = 0
+
+    def offer(self, item):
+        """Enqueue ``item``; shed (and count) it when the queue is full."""
+        if len(self.items) >= self.capacity:
+            self.shed += 1
+            return False
+        self.items.append(item)
+        depth = len(self.items)
+        if depth > self.max_depth:
+            self.max_depth = depth
+        return True
+
+    def drain(self, limit):
+        """Dequeue up to ``limit`` items in FIFO order."""
+        items = self.items
+        take = min(limit, len(items))
+        return [items.popleft() for _ in range(take)]
+
+    def __len__(self):
+        return len(self.items)
+
+    def head(self):
+        return self.items[0] if self.items else None

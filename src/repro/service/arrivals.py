@@ -1,0 +1,104 @@
+"""Deterministic seeded arrival processes for the service load generator.
+
+Open-loop load (arrivals independent of service completions — the
+methodology that exposes queueing collapse, which closed-loop harnesses
+structurally cannot see) is generated ahead of the run as a list of
+integer arrival cycles.  Everything derives from one
+:class:`~repro.common.rng.Xorshift32` seed: two runs with the same seed
+produce byte-identical arrival streams, which is what makes the service
+sweep's summary artifact reproducible.
+
+Two open-loop shapes:
+
+* **poisson** — exponential inter-arrival gaps at a constant offered rate;
+* **bursty** — a two-state modulated Poisson process (an on/off burst
+  model): bursts arrive at ``burst_factor`` times the base rate,
+  separated by idle stretches, with the *average* rate matching the
+  requested offered load.
+
+Rates are expressed in transactions per 1000 simulated cycles ("per
+kcycle") throughout the service layer.
+
+The closed-loop comparison mode lives in
+:class:`repro.service.server.ClosedLoopSource` — its arrivals depend on
+commit completions, so they cannot be precomputed here.
+"""
+
+import math
+
+from repro.common.rng import Xorshift32
+
+#: arrival-process names accepted by the CLI / sweep specs
+ARRIVAL_KINDS = ("poisson", "bursty")
+
+
+def _exp_gap(rng, mean_cycles):
+    """One exponential inter-arrival gap, >= 1 cycle, deterministic."""
+    # (u + 1) / 2^32 keeps u in (0, 1]; log(0) is unreachable
+    u = (rng.next_u32() + 1) / 4294967296.0
+    return max(1, int(round(-mean_cycles * math.log(u))))
+
+
+def poisson_arrivals(seed, rate_per_kcycle, horizon_cycles):
+    """Arrival cycles of a Poisson process over ``[0, horizon_cycles)``."""
+    if rate_per_kcycle <= 0:
+        raise ValueError("offered rate must be positive, got %r" % rate_per_kcycle)
+    rng = Xorshift32(seed)
+    mean = 1000.0 / rate_per_kcycle
+    arrivals = []
+    cycle = 0
+    while True:
+        cycle += _exp_gap(rng, mean)
+        if cycle >= horizon_cycles:
+            return arrivals
+        arrivals.append(cycle)
+
+
+def bursty_arrivals(seed, rate_per_kcycle, horizon_cycles,
+                    burst_factor=8.0, burst_fraction=0.25):
+    """A two-state on/off modulated Poisson process.
+
+    ``burst_fraction`` of the timeline (in expectation) runs at
+    ``burst_factor`` times the base rate; the rest idles at a reduced
+    rate chosen so the long-run average equals ``rate_per_kcycle``.
+    State dwell times are exponential with a mean of 50 mean-gaps, long
+    enough that bursts actually pile the queue up.
+    """
+    if burst_factor <= 1:
+        raise ValueError("burst_factor must be > 1, got %r" % burst_factor)
+    if not 0 < burst_fraction < 1:
+        raise ValueError("burst_fraction must be in (0, 1), got %r" % burst_fraction)
+    rng = Xorshift32(seed)
+    burst_rate = rate_per_kcycle * burst_factor
+    idle_rate = rate_per_kcycle * (1.0 - burst_fraction * burst_factor)
+    if idle_rate <= 0:
+        # the burst state alone exceeds the average: idle goes (nearly)
+        # silent and bursts carry the whole load
+        idle_rate = rate_per_kcycle * 0.01
+    dwell_mean = 50 * 1000.0 / rate_per_kcycle
+    arrivals = []
+    cycle = 0
+    state_end = 0
+    bursting = False
+    while cycle < horizon_cycles:
+        if cycle >= state_end:
+            bursting = not bursting
+            dwell = dwell_mean * (burst_fraction if bursting else 1 - burst_fraction)
+            state_end = cycle + _exp_gap(rng, dwell)
+        rate = burst_rate if bursting else idle_rate
+        cycle += _exp_gap(rng, 1000.0 / rate)
+        if cycle < horizon_cycles:
+            arrivals.append(cycle)
+    return arrivals
+
+
+def make_arrivals(kind, seed, rate_per_kcycle, horizon_cycles):
+    """Arrival cycles for process ``kind`` (one of :data:`ARRIVAL_KINDS`)."""
+    if kind == "poisson":
+        return poisson_arrivals(seed, rate_per_kcycle, horizon_cycles)
+    if kind == "bursty":
+        return bursty_arrivals(seed, rate_per_kcycle, horizon_cycles)
+    raise ValueError(
+        "unknown arrival process %r; expected one of %s"
+        % (kind, ", ".join(ARRIVAL_KINDS))
+    )

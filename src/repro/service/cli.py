@@ -1,0 +1,231 @@
+"""``python -m repro service`` — the ledger-service benchmark CLI.
+
+Sweeps offered load × STM variant × contention skew through
+:func:`repro.service.sweep.run_service_sweep` and writes the artifacts
+(deterministic ``service_summary.json``, wall-clock ``run_info.json``,
+optional merged metrics and per-cell Chrome-trace timelines) under
+``--out``.  ``--retries``/``--timeout``/``--resume`` route the sweep
+through the supervised pool, mirroring ``python -m repro.harness``.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+from repro.service.arrivals import ARRIVAL_KINDS
+from repro.service.sweep import DEFAULT_OUT_DIR, run_service_sweep, write_artifacts
+from repro.stm import EXTENSION_VARIANTS, STM_VARIANTS
+
+#: arrival modes the CLI accepts: the open-loop processes + closed-loop
+MODES = ARRIVAL_KINDS + ("closed",)
+
+
+def _csv(text):
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _float_list(values, flag, parser):
+    out = []
+    for value in values:
+        for part in _csv(value):
+            try:
+                out.append(float(part))
+            except ValueError:
+                parser.error("%s expects numbers, got %r" % (flag, part))
+    return tuple(out)
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro service",
+        description="Run the transactional ledger server under open- or "
+        "closed-loop load and report throughput, goodput, abort rate and "
+        "latency percentiles per STM variant.",
+    )
+    parser.add_argument(
+        "--variants", default="cgl,vbv,optimized", metavar="NAMES",
+        help="comma-separated STM variants to serve with, or 'all' "
+        "(default: cgl,vbv,optimized)",
+    )
+    parser.add_argument(
+        "--load", action="append", default=None, metavar="RATES",
+        help="offered load in tx per 1000 simulated cycles; comma-separated "
+        "and/or repeatable (default: 2)",
+    )
+    parser.add_argument(
+        "--skew", action="append", default=None, metavar="SKEWS",
+        help="Zipfian contention skew(s); 0 = uniform (default: 0.8)",
+    )
+    parser.add_argument(
+        "--arrival", default="poisson", choices=MODES,
+        help="arrival process: open-loop poisson/bursty, or the closed-loop "
+        "comparison mode (default: poisson)",
+    )
+    parser.add_argument(
+        "--duration-cycles", type=int, default=50_000, metavar="N",
+        help="arrival horizon in simulated cycles (default: 50000); the "
+        "server then drains its queue to empty",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="base RNG seed (default: 7)"
+    )
+    parser.add_argument(
+        "--accounts", type=int, default=4096, metavar="N",
+        help="ledger accounts (default: 4096)",
+    )
+    service_group = parser.add_argument_group("batching and backpressure")
+    service_group.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="launch a batch at N queued transactions (default: 64)",
+    )
+    service_group.add_argument(
+        "--batch-deadline", type=int, default=None, metavar="CYCLES",
+        help="launch a partial batch once its head has waited CYCLES "
+        "(default: 1000)",
+    )
+    service_group.add_argument(
+        "--queue-capacity", type=int, default=None, metavar="N",
+        help="ingress queue bound; arrivals beyond it are shed and counted "
+        "(default: 512)",
+    )
+    service_group.add_argument(
+        "--admission-rate", type=float, default=None, metavar="RATE",
+        help="token-bucket admission rate in tx/kcycle (default: off)",
+    )
+    service_group.add_argument(
+        "--admission-burst", type=int, default=None, metavar="N",
+        help="token-bucket burst capacity (default: 32)",
+    )
+    closed_group = parser.add_argument_group("closed-loop mode")
+    closed_group.add_argument(
+        "--clients", type=int, default=64, metavar="N",
+        help="concurrent closed-loop clients (default: 64)",
+    )
+    closed_group.add_argument(
+        "--think-cycles", type=int, default=2000, metavar="CYCLES",
+        help="mean client think time between requests (default: 2000)",
+    )
+    pool_group = parser.add_argument_group("execution")
+    pool_group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (default: 1)",
+    )
+    pool_group.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry transient cell failures up to N times with backoff",
+    )
+    pool_group.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock timeout (needs --jobs > 1)",
+    )
+    pool_group.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="checkpoint journal: completed cells are recorded at PATH and "
+        "served back bit-identically on re-run",
+    )
+    artifact_group = parser.add_argument_group("artifacts")
+    artifact_group.add_argument(
+        "--out", default=DEFAULT_OUT_DIR, metavar="DIR",
+        help="artifact directory (default: %s)" % DEFAULT_OUT_DIR,
+    )
+    artifact_group.add_argument(
+        "--metrics", action="store_true",
+        help="also write the merged telemetry registry to DIR/metrics.json",
+    )
+    artifact_group.add_argument(
+        "--timeline", action="store_true",
+        help="also record a Chrome-trace timeline per cell under "
+        "DIR/timelines/",
+    )
+    return parser
+
+
+def _resolve_variants(text, parser):
+    known = STM_VARIANTS + EXTENSION_VARIANTS
+    if text.strip() == "all":
+        return known
+    variants = _csv(text)
+    if not variants:
+        parser.error("--variants expects at least one variant name")
+    for name in variants:
+        if name not in known:
+            parser.error(
+                "unknown STM variant %r; expected one of %s or 'all'"
+                % (name, ", ".join(known))
+            )
+    return variants
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    variants = _resolve_variants(args.variants, parser)
+    loads = _float_list(args.load or ["2"], "--load", parser)
+    skews = _float_list(args.skew or ["0.8"], "--skew", parser)
+    if any(load <= 0 for load in loads):
+        parser.error("--load rates must be positive")
+    if any(skew < 0 for skew in skews):
+        parser.error("--skew must be >= 0")
+    if args.duration_cycles < 1:
+        parser.error("--duration-cycles must be >= 1")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    service_overrides = {}
+    for flag, field in (
+        ("batch_size", "batch_size"),
+        ("batch_deadline", "batch_deadline"),
+        ("queue_capacity", "queue_capacity"),
+        ("admission_rate", "admission_rate"),
+        ("admission_burst", "admission_burst"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            service_overrides[field] = value
+
+    supervise = None
+    if args.retries is not None or args.timeout is not None:
+        from repro.harness.supervisor import SupervisorConfig
+
+        supervise = SupervisorConfig()
+        if args.retries is not None:
+            supervise.max_retries = args.retries
+        if args.timeout is not None:
+            supervise.wall_timeout = args.timeout
+
+    registry = None
+    if args.metrics:
+        from repro.telemetry import MetricRegistry
+
+        registry = MetricRegistry()
+    timeline_dir = os.path.join(args.out, "timelines") if args.timeline else None
+
+    started = time.time()
+    report = run_service_sweep(
+        variants, loads, skews=skews, arrival=args.arrival, seed=args.seed,
+        duration_cycles=args.duration_cycles, num_accounts=args.accounts,
+        clients=args.clients, think_mean=args.think_cycles,
+        service_overrides=service_overrides or None, jobs=args.jobs,
+        supervise=supervise, journal=args.resume, metrics=registry,
+        timeline_dir=timeline_dir,
+    )
+    print(report.render())
+    summary_path = write_artifacts(report, args.out)
+    print("[summary -> %s]" % summary_path)
+    if registry is not None:
+        metrics_path = os.path.join(args.out, "metrics.json")
+        registry.write_json(metrics_path)
+        print("[metrics -> %s]" % metrics_path)
+    print("[service sweep: %d cell(s) in %.1fs, jobs=%d]"
+          % (len(report.specs), time.time() - started, args.jobs))
+    if not report.ok:
+        print("%d cell(s) failed:" % len(report.failures), file=sys.stderr)
+        for failure in report.failures:
+            print("  %r: %s" % (failure.key, failure.brief()), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -132,8 +132,15 @@ class TmRuntime:
         Subclasses extend the base dict with their variant-specific state
         (clock value, lock-table occupancy, sequence locks, static
         capacities, ...); keys are relative to :meth:`metric_namespace`.
+        ``abort_rate`` is the derived point-in-time ratio the service
+        layer's SLO dashboards read (the raw ``commits``/``aborts``
+        counters are published separately by :meth:`publish_metrics`);
+        rounded to a fixed 6 decimals so artifacts diff clean.
         """
-        return {"threads": len(self.threads)}
+        return {
+            "threads": len(self.threads),
+            "abort_rate": round(self.abort_rate(), 6),
+        }
 
     def publish_metrics(self, registry):
         """Report this runtime's statistics into a metric registry.

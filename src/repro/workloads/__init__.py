@@ -11,6 +11,12 @@ a workload-specific atomicity invariant after the run.
 """
 
 from repro.workloads.base import KernelSpec, Workload
-from repro.workloads.registry import WORKLOADS, make_workload
+from repro.workloads.registry import WORKLOADS, make_workload, workload_names
 
-__all__ = ["KernelSpec", "Workload", "WORKLOADS", "make_workload"]
+__all__ = [
+    "KernelSpec",
+    "Workload",
+    "WORKLOADS",
+    "make_workload",
+    "workload_names",
+]

@@ -5,9 +5,12 @@ from repro.workloads.genome import Genome
 from repro.workloads.hashtable import HashTable
 from repro.workloads.kmeans import KMeans
 from repro.workloads.labyrinth import Labyrinth
+from repro.workloads.ledger import LedgerWorkload
 from repro.workloads.random_array import RandomArray
 
-#: name → workload class, in the paper's presentation order
+#: name → workload class: the paper's six evaluation programs in
+#: presentation order, plus the service layer's ledger workload (``lg``,
+#: contended account transfers — see docs/service.md)
 WORKLOADS = {
     "ra": RandomArray,
     "ht": HashTable,
@@ -15,7 +18,16 @@ WORKLOADS = {
     "lb": Labyrinth,
     "gn": Genome,
     "km": KMeans,
+    "lg": LedgerWorkload,
 }
+
+
+def workload_names():
+    """The registered workload roster, sorted — the *only* listing order
+    any driver or CLI help text should print, so two runs (or two
+    machines) enumerate workloads identically and a workload silently
+    dropped from the registry shows up as a roster diff in tests."""
+    return tuple(sorted(WORKLOADS))
 
 
 def make_workload(name, **params):
@@ -25,6 +37,6 @@ def make_workload(name, **params):
     except KeyError:
         raise ValueError(
             "unknown workload %r; expected one of %s"
-            % (name, ", ".join(sorted(WORKLOADS)))
+            % (name, ", ".join(workload_names()))
         ) from None
     return cls(**params)

@@ -62,7 +62,7 @@ class TestRunWorkload:
 
 class TestConfigs:
     def test_bench_params_exist_for_all(self):
-        for name in ("ra", "ht", "eb", "lb", "gn", "km"):
+        for name in ("ra", "ht", "eb", "lb", "gn", "km", "lg"):
             assert bench_workload_params(name)
             assert tiny_params(name)
 

@@ -1,0 +1,62 @@
+"""Arrival-process determinism and shape checks."""
+
+import pytest
+
+from repro.service.arrivals import (
+    bursty_arrivals,
+    make_arrivals,
+    poisson_arrivals,
+)
+
+
+@pytest.mark.parametrize("kind", ["poisson", "bursty"])
+def test_seeded_streams_replay_bit_identically(kind):
+    first = make_arrivals(kind, 1234, 2.0, 100_000)
+    second = make_arrivals(kind, 1234, 2.0, 100_000)
+    assert first == second
+    assert first != make_arrivals(kind, 1235, 2.0, 100_000)
+
+
+@pytest.mark.parametrize("kind", ["poisson", "bursty"])
+def test_arrivals_bounded_by_horizon_and_ordered(kind):
+    arrivals = make_arrivals(kind, 7, 3.0, 50_000)
+    assert arrivals, "expected a non-empty stream at 3 tx/kcycle over 50k cycles"
+    assert all(0 < cycle < 50_000 for cycle in arrivals)
+    assert arrivals == sorted(arrivals)
+    assert all(isinstance(cycle, int) for cycle in arrivals)
+
+
+def test_poisson_rate_roughly_matches_offered_load():
+    arrivals = poisson_arrivals(42, 2.0, 1_000_000)
+    rate = len(arrivals) / 1000.0  # tx per kcycle over 1000 kcycles
+    assert 1.6 < rate < 2.4
+
+
+def test_bursty_average_rate_matches_but_is_burstier():
+    horizon = 1_000_000
+    poisson = poisson_arrivals(42, 2.0, horizon)
+    bursty = bursty_arrivals(42, 2.0, horizon)
+    assert 0.5 * len(poisson) < len(bursty) < 1.5 * len(poisson)
+
+    def max_window_count(arrivals, window=5000):
+        best = 0
+        lo = 0
+        for hi, cycle in enumerate(arrivals):
+            while arrivals[lo] <= cycle - window:
+                lo += 1
+            best = max(best, hi - lo + 1)
+        return best
+
+    # bursts pack a window visibly tighter than the flat process
+    assert max_window_count(bursty) > max_window_count(poisson)
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        make_arrivals("uniform", 1, 2.0, 1000)
+    with pytest.raises(ValueError):
+        poisson_arrivals(1, 0, 1000)
+    with pytest.raises(ValueError):
+        bursty_arrivals(1, 2.0, 1000, burst_factor=1.0)
+    with pytest.raises(ValueError):
+        bursty_arrivals(1, 2.0, 1000, burst_fraction=1.0)

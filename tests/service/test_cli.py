@@ -1,0 +1,93 @@
+"""``python -m repro service`` end to end: artifacts, determinism, exits."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.cli import main
+from repro.telemetry.validate import validate_file
+
+
+def run_cli(tmp_path, name, extra=()):
+    out_dir = str(tmp_path / name)
+    argv = [
+        "--variants", "cgl,vbv", "--load", "2", "--duration-cycles", "15000",
+        "--seed", "7", "--accounts", "128", "--out", out_dir,
+    ] + list(extra)
+    assert main(argv) == 0
+    return out_dir
+
+
+def test_acceptance_command_is_bit_identical(tmp_path, capsys):
+    first = run_cli(tmp_path, "a")
+    second = run_cli(tmp_path, "b")
+    with open(os.path.join(first, "service_summary.json"), "rb") as fh:
+        first_bytes = fh.read()
+    with open(os.path.join(second, "service_summary.json"), "rb") as fh:
+        second_bytes = fh.read()
+    assert first_bytes == second_bytes
+
+    summary = json.loads(first_bytes)
+    assert summary["experiment"] == "ledger-service"
+    assert [cell["variant"] for cell in summary["cells"]] == ["cgl", "vbv"]
+    for cell in summary["cells"]:
+        assert cell["committed"] > 0
+        assert cell["latency_cycles"]["p99"] is not None
+        assert cell["latency_cycles"]["p50"] <= cell["latency_cycles"]["p99"]
+
+    # wall-clock stays out of the summary, in run_info.json
+    assert b"wall" not in first_bytes
+    with open(os.path.join(first, "run_info.json")) as fh:
+        run_info = json.load(fh)
+    assert set(run_info["cells"]) == {
+        "cgl/poisson/load2/skew0.8", "vbv/poisson/load2/skew0.8",
+    }
+    out = capsys.readouterr().out
+    assert "service_summary.json" in out
+    assert "abort%" in out
+
+
+def test_metrics_and_timeline_artifacts_validate(tmp_path):
+    out_dir = run_cli(tmp_path, "tel", extra=["--metrics", "--timeline",
+                                              "--variants", "vbv"])
+    assert "valid metrics" in validate_file(os.path.join(out_dir, "metrics.json"))
+    timelines = os.listdir(os.path.join(out_dir, "timelines"))
+    assert timelines
+    for name in timelines:
+        assert "valid Chrome trace" in validate_file(
+            os.path.join(out_dir, "timelines", name)
+        )
+
+
+def test_resume_journal_replays_cells(tmp_path):
+    journal = str(tmp_path / "svc.journal")
+    first = run_cli(tmp_path, "j1", extra=["--resume", journal])
+    second = run_cli(tmp_path, "j2", extra=["--resume", journal])
+    with open(os.path.join(first, "service_summary.json"), "rb") as fh:
+        first_bytes = fh.read()
+    with open(os.path.join(second, "service_summary.json"), "rb") as fh:
+        second_bytes = fh.read()
+    assert first_bytes == second_bytes
+
+
+def test_bad_flags_exit_with_usage_error(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main(["--variants", "not-a-variant", "--out", str(tmp_path / "x")])
+    assert exc.value.code == 2
+    with pytest.raises(SystemExit):
+        main(["--load", "0", "--out", str(tmp_path / "y")])
+    with pytest.raises(SystemExit):
+        main(["--arrival", "unknown", "--out", str(tmp_path / "z")])
+
+
+def test_module_dispatch_routes_service_target(tmp_path):
+    from repro.__main__ import main as top_main
+
+    out_dir = str(tmp_path / "dispatch")
+    code = top_main([
+        "service", "--variants", "cgl", "--load", "2",
+        "--duration-cycles", "10000", "--accounts", "128", "--out", out_dir,
+    ])
+    assert code == 0
+    assert os.path.exists(os.path.join(out_dir, "service_summary.json"))

@@ -1,0 +1,57 @@
+"""Nearest-rank percentile edge cases (ISSUE satellite)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.latency import percentile, summarize
+
+
+def test_empty_window_is_all_none():
+    assert percentile([], 50) is None
+    block = summarize([])
+    assert block == {
+        "count": 0, "min": None, "max": None, "mean": None,
+        "p50": None, "p95": None, "p99": None,
+    }
+
+
+def test_single_sample_window():
+    assert percentile([42], 50) == 42
+    assert percentile([42], 99) == 42
+    assert percentile([42], 1) == 42
+    block = summarize([42])
+    assert block["count"] == 1
+    assert block["min"] == block["max"] == 42
+    assert block["mean"] == 42.0
+    assert block["p50"] == block["p95"] == block["p99"] == 42
+
+
+def test_nearest_rank_known_values():
+    samples = list(range(1, 101))  # 1..100
+    assert percentile(samples, 50) == 50
+    assert percentile(samples, 95) == 95
+    assert percentile(samples, 99) == 99
+    assert percentile(samples, 100) == 100
+    # nearest-rank rounds ranks up: p50 of two samples is the first
+    assert percentile([10, 20], 50) == 10
+    assert percentile([10, 20], 51) == 20
+
+
+def test_unsorted_input_and_q_validation():
+    assert percentile([30, 10, 20], 50) == 20
+    with pytest.raises(ValueError):
+        percentile([1], 0)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+@settings(deadline=None, max_examples=60)
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1),
+       st.integers(min_value=1, max_value=100))
+def test_percentile_is_an_observed_sample(samples, q):
+    value = percentile(samples, q)
+    assert value in samples
+    # monotone in q and bracketed by the extremes
+    assert min(samples) <= value <= max(samples)
+    assert percentile(samples, 100) == max(samples)

@@ -1,0 +1,93 @@
+"""Ledger workload unit tests + the registry roster pin (ISSUE satellites)."""
+
+import pytest
+
+from repro.common.rng import Xorshift32
+from repro.harness.configs import test_workload_params as params_for
+from repro.harness.configs import unit_gpu
+from repro.harness.runner import run_workload
+from repro.workloads import WORKLOADS, make_workload, workload_names
+from repro.workloads.ledger import (
+    LedgerWorkload,
+    TransferRequest,
+    ZipfSampler,
+    sample_transfer,
+)
+
+
+class TestRegistryRoster:
+    def test_roster_is_pinned(self):
+        """Adding a workload must update this test: the roster is API."""
+        assert workload_names() == ("eb", "gn", "ht", "km", "lb", "lg", "ra")
+
+    def test_listing_is_sorted_and_stable(self):
+        assert list(workload_names()) == sorted(WORKLOADS)
+        assert workload_names() == workload_names()
+
+    def test_ledger_is_registered(self):
+        workload = make_workload("lg", **params_for("lg"))
+        assert isinstance(workload, LedgerWorkload)
+
+    def test_unknown_name_lists_roster(self):
+        with pytest.raises(Exception) as exc:
+            make_workload("zz")
+        message = str(exc.value)
+        for name in workload_names():
+            assert name in message
+
+
+class TestZipfSampler:
+    def test_uniform_at_zero_skew(self):
+        sampler = ZipfSampler(64, 0.0)
+        rng = Xorshift32(1)
+        counts = [0] * 64
+        for _ in range(64_000):
+            counts[sampler.sample(rng)] += 1
+        assert min(counts) > 0
+        assert max(counts) < 3 * min(counts)
+
+    def test_skew_concentrates_on_low_accounts(self):
+        sampler = ZipfSampler(64, 1.2)
+        rng = Xorshift32(1)
+        counts = [0] * 64
+        for _ in range(20_000):
+            counts[sampler.sample(rng)] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > 10 * counts[-1]
+
+    def test_deterministic_given_seed(self):
+        sampler = ZipfSampler(32, 0.8)
+        rng_a, rng_b = Xorshift32(5), Xorshift32(5)
+        draws_a = [sampler.sample(rng_a) for _ in range(100)]
+        draws_b = [sampler.sample(rng_b) for _ in range(100)]
+        assert draws_a == draws_b
+
+
+def test_sample_transfer_never_self_transfers():
+    sampler = ZipfSampler(8, 1.0)
+    rng = Xorshift32(9)
+    for _ in range(500):
+        req = sample_transfer(rng, sampler, 4)
+        assert isinstance(req, TransferRequest)
+        assert req.src != req.dst
+        assert 0 <= req.src < 8 and 0 <= req.dst < 8
+        assert 1 <= req.amount <= 4
+
+
+@pytest.mark.parametrize("variant", ["cgl", "vbv", "optimized"])
+def test_ledger_workload_runs_and_verifies(variant):
+    workload = make_workload("lg", **params_for("lg"))
+    result = run_workload(workload, variant, unit_gpu(), num_locks=64,
+                          check_oracle=True)
+    assert not result.crashed
+    assert result.commits > 0
+
+
+def test_high_skew_contends_more_than_uniform():
+    def abort_rate(skew):
+        params = dict(params_for("lg"), skew=skew)
+        workload = make_workload("lg", **params)
+        result = run_workload(workload, "vbv", unit_gpu(), num_locks=64)
+        return result.abort_rate
+
+    assert abort_rate(1.2) >= abort_rate(0.0)
