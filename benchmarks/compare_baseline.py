@@ -16,6 +16,14 @@ After an *intentional* perf change, refresh the committed baseline —
 that is the escape hatch for legitimate shifts — with::
 
     PYTHONPATH=src python benchmarks/compare_baseline.py --update
+
+Alongside the single-point baseline verdict, each case is judged by the
+experiment database's perf observatory (``--db``, default
+``$REPRO_EXPDB``): the current rate against the rolling median of the
+recorded window, plus deterministic step-drift detection — see
+:mod:`repro.expdb.observatory`.  ``--record`` appends this measurement
+to the database, growing the trajectory the next invocation is judged
+against (``python -m repro db trajectory`` renders the history).
 """
 
 import argparse
@@ -68,6 +76,13 @@ def main(argv=None):
                         help="fractional steps/sec drop that counts as a regression")
     parser.add_argument("--repeat", type=int, default=3,
                         help="runs per case; the best rate is kept")
+    parser.add_argument("--db", default=None, metavar="PATH",
+                        help="experiment database for the rolling-window "
+                             "verdict (default: $REPRO_EXPDB or "
+                             "expdb/experiments.sqlite)")
+    parser.add_argument("--record", action="store_true",
+                        help="append this measurement to the experiment "
+                             "database's perf trajectory")
     args = parser.parse_args(argv)
 
     current = {
@@ -109,6 +124,32 @@ def main(argv=None):
                  delta, 100 * ratio))
         if verdict == "REGRESSION" and not args.lenient:
             status = 1
+
+    # second opinion: the experiment database's rolling window, which
+    # tracks the *trajectory* instead of one hand-refreshed point
+    from repro.expdb.db import ExperimentDB, default_db_path
+    from repro.expdb.observatory import record_perf_run, rolling_verdict
+
+    db_path = args.db or default_db_path()
+    with ExperimentDB(db_path) as db:
+        print()
+        print("rolling-window verdicts (experiment DB %s):" % db_path)
+        for case, now in sorted(current.items()):
+            verdict = rolling_verdict(
+                db, case, now["steps"], now["steps_per_sec"],
+                tolerance=args.threshold,
+            )
+            print("  " + verdict.brief())
+            if verdict.status == "regression":
+                drift = (verdict.window_steps is not None
+                         and verdict.steps != verdict.window_steps)
+                # step drift is a determinism break, never excusable by
+                # --lenient; rate regressions follow the legacy flag
+                if drift or not args.lenient:
+                    status = 1
+        if args.record:
+            run_id = record_perf_run(db, current)
+            print("recorded perf run %d in %s" % (run_id, db_path))
     return status
 
 

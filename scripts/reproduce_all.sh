@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerate every figure/table through the supervised pool, record each
+# run in the experiment database, and emit a hash-pinned manifest.
+# Thin wrapper over `python -m repro reproduce`; all flags pass through
+# (try --smoke --jobs 4 for a quick verifiable bundle).
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec python -m repro reproduce "$@"

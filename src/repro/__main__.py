@@ -1,8 +1,11 @@
 """``python -m repro`` — the top-level CLI dispatcher.
 
 ``python -m repro service ...`` drives the ledger-service benchmark
-(:mod:`repro.service.cli`); every other target is forwarded verbatim to
-``python -m repro.harness`` so both spellings keep working.
+(:mod:`repro.service.cli`); ``python -m repro db ...`` queries the
+experiment database (:mod:`repro.expdb.cli`); ``python -m repro
+reproduce ...`` regenerates the full artifact bundle and records it
+(:mod:`repro.expdb.reproduce`).  Every other target is forwarded
+verbatim to ``python -m repro.harness`` so both spellings keep working.
 """
 
 import sys
@@ -14,6 +17,14 @@ def main(argv=None):
         from repro.service.cli import main as service_main
 
         return service_main(argv[1:])
+    if argv and argv[0] == "db":
+        from repro.expdb.cli import main as db_main
+
+        return db_main(argv[1:])
+    if argv and argv[0] == "reproduce":
+        from repro.expdb.reproduce import main as reproduce_main
+
+        return reproduce_main(argv[1:])
     from repro.harness.__main__ import main as harness_main
 
     return harness_main(argv)

@@ -1,0 +1,206 @@
+"""The perf-trajectory observatory: history-aware regression verdicts.
+
+``benchmarks/baseline.json`` is a single hand-refreshed point: useful as
+a hard floor, but blind to drift (five PRs each 4% slower never trip a
+20% gate) and noisy across machines.  The observatory supersedes it with
+a *time series*: every ``compare_baseline.py --record`` appends the
+current per-case steps/sec measurements to the experiment DB, and the
+verdict for a new measurement is taken against the **rolling window** —
+the median of the last N recorded samples for that case, with a
+fractional tolerance.
+
+Two regression signals, one deterministic and one statistical:
+
+* **step drift** — the sample's simulated step count differs from the
+  window's.  Steps are bit-identical across machines, so any drift is a
+  determinism break (or an unrecorded intentional change) and always
+  flags, regardless of tolerance.  An armed fault plan (e.g.
+  ``warp_stall``) perturbs the schedule and therefore the step count —
+  which is exactly how the acceptance test slows a run artificially and
+  expects the observatory to notice.
+* **rate regression** — ``steps_per_sec`` fell below ``(1 - tolerance) ×
+  rolling median``.  The median makes one noisy historical sample
+  harmless; the window makes slow drift visible as soon as it crosses
+  the band.
+
+:func:`trajectory_report` renders the whole history per case as a
+markdown report — the artifact CI uploads next to the single-point
+baseline comparison.
+"""
+
+DEFAULT_WINDOW = 8
+DEFAULT_TOLERANCE = 0.20
+
+#: experiment name perf runs are recorded under
+PERF_EXPERIMENT = "perf-baseline"
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+class Verdict:
+    """One case's rolling-window judgement; plain renderable data."""
+
+    __slots__ = (
+        "case_name", "status", "reason", "steps", "steps_per_sec",
+        "window_size", "median_rate", "window_steps",
+    )
+
+    def __init__(self, case_name, status, reason, steps, steps_per_sec,
+                 window_size=0, median_rate=None, window_steps=None):
+        self.case_name = case_name
+        self.status = status          # "ok" | "regression" | "no-history"
+        self.reason = reason
+        self.steps = steps
+        self.steps_per_sec = steps_per_sec
+        self.window_size = window_size
+        self.median_rate = median_rate
+        self.window_steps = window_steps
+
+    @property
+    def ok(self):
+        return self.status != "regression"
+
+    def brief(self):
+        return "%-20s %-11s %s" % (self.case_name, self.status.upper(),
+                                   self.reason)
+
+    def __repr__(self):
+        return "Verdict(%s: %s)" % (self.case_name, self.status)
+
+
+def rolling_verdict(db, case_name, steps, steps_per_sec,
+                    window=DEFAULT_WINDOW, tolerance=DEFAULT_TOLERANCE):
+    """Judge one fresh measurement against the case's recorded window."""
+    samples = db.perf_window(case_name, window)
+    if not samples:
+        return Verdict(
+            case_name, "no-history",
+            "no recorded samples; record with --record to start the window",
+            steps, steps_per_sec,
+        )
+    window_steps = samples[-1]["steps"]
+    median_rate = _median([s["steps_per_sec"] for s in samples])
+    if steps != window_steps:
+        return Verdict(
+            case_name, "regression",
+            "step drift: window ran %d simulated steps, this run %d "
+            "(deterministic work changed or a fault plan is armed)"
+            % (window_steps, steps),
+            steps, steps_per_sec, len(samples), median_rate, window_steps,
+        )
+    floor = (1.0 - tolerance) * median_rate
+    if steps_per_sec < floor:
+        return Verdict(
+            case_name, "regression",
+            "%.1f steps/sec is below %.0f%% of the rolling median %.1f "
+            "(window of %d)"
+            % (steps_per_sec, 100 * (1.0 - tolerance), median_rate,
+               len(samples)),
+            steps, steps_per_sec, len(samples), median_rate, window_steps,
+        )
+    return Verdict(
+        case_name, "ok",
+        "%.1f steps/sec vs rolling median %.1f (window of %d)"
+        % (steps_per_sec, median_rate, len(samples)),
+        steps, steps_per_sec, len(samples), median_rate, window_steps,
+    )
+
+
+def record_perf_run(db, samples, provenance=None, summary=None):
+    """Append one perf measurement run to the database.
+
+    ``samples`` maps ``case_name -> {"steps": int, "steps_per_sec":
+    float}`` (the shape ``compare_baseline.measure`` produces).  The run
+    key hashes the deterministic half only — the case roster and step
+    counts — so two machines measuring the same simulated work record
+    the same key with different rates, which is what makes their series
+    comparable.  Returns the new run id.
+    """
+    import hashlib
+    import json
+
+    from repro.expdb.db import RunRecord
+    from repro.expdb.provenance import provenance_snapshot
+
+    work = {name: samples[name]["steps"] for name in sorted(samples)}
+    run_key = hashlib.sha256(
+        ("perf:" + json.dumps(work, sort_keys=True)).encode("utf-8")
+    ).hexdigest()
+    record = RunRecord(
+        PERF_EXPERIMENT,
+        run_key,
+        provenance=provenance if provenance is not None
+        else provenance_snapshot(),
+        summary=summary,
+        perf_samples=[
+            (name, samples[name]["steps"], samples[name]["steps_per_sec"])
+            for name in sorted(samples)
+        ],
+    )
+    return db.record_run(record)
+
+
+def trajectory_report(db, window=DEFAULT_WINDOW, tolerance=DEFAULT_TOLERANCE):
+    """Markdown perf-trajectory report over every recorded case.
+
+    For each case: the recorded series (oldest → newest), the rolling
+    median of the window *before* the newest sample, and the newest
+    sample's verdict against that window — i.e. exactly the judgement
+    ``compare_baseline.py`` would have printed when that sample was
+    recorded.
+    """
+    lines = ["# Perf trajectory", ""]
+    cases = db.perf_cases()
+    if not cases:
+        lines.append("_No perf samples recorded yet; run "
+                     "`benchmarks/compare_baseline.py --record`._")
+        return "\n".join(lines) + "\n"
+    lines.append(
+        "Rolling window: last %d samples per case, tolerance %.0f%% "
+        "below the median." % (window, 100 * tolerance)
+    )
+    for case_name in cases:
+        # window + 1: the newest sample plus the window it is judged by
+        series = db.perf_window(case_name, window + 1)
+        newest = series[-1]
+        history = series[:-1]
+        lines.append("")
+        lines.append("## %s" % case_name)
+        lines.append("")
+        lines.append("| run | steps | steps/sec |")
+        lines.append("|---:|---:|---:|")
+        for sample in series:
+            lines.append("| %d | %d | %.1f |" % (
+                sample["run_id"], sample["steps"], sample["steps_per_sec"]
+            ))
+        if not history:
+            lines.append("")
+            lines.append("Only one sample recorded; no window to judge "
+                         "against yet.")
+            continue
+        median_rate = _median([s["steps_per_sec"] for s in history])
+        status = "ok"
+        detail = "within tolerance"
+        if newest["steps"] != history[-1]["steps"]:
+            status = "REGRESSION"
+            detail = "step drift (%d -> %d)" % (history[-1]["steps"],
+                                                newest["steps"])
+        elif newest["steps_per_sec"] < (1.0 - tolerance) * median_rate:
+            status = "REGRESSION"
+            detail = "%.1f below %.0f%% of median %.1f" % (
+                newest["steps_per_sec"], 100 * (1.0 - tolerance), median_rate
+            )
+        lines.append("")
+        lines.append(
+            "Latest: **%.1f steps/sec** vs rolling median %.1f over %d "
+            "sample(s) — **%s** (%s)."
+            % (newest["steps_per_sec"], median_rate, len(history), status,
+               detail)
+        )
+    return "\n".join(lines) + "\n"

@@ -183,6 +183,7 @@ def run_campaign(
     supervise=None,
     journal=None,
     metrics=None,
+    recorder=None,
 ):
     """Run the mutant x checker campaign; returns the efficacy matrix dict.
 
@@ -218,6 +219,7 @@ def run_campaign(
     results = run_jobs(
         specs, jobs=jobs, executor=execute_campaign_job,
         supervise=supervise, journal=journal, metrics=metrics,
+        recorder=recorder,
     )
 
     matrix = {

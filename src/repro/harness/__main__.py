@@ -371,6 +371,12 @@ def main(argv=None):
         "--metrics", default=None, metavar="FILE",
         help="write the merged telemetry metric registry as JSON to FILE",
     )
+    parser.add_argument(
+        "--expdb", default=None, metavar="PATH",
+        help="record each figure/table sweep (spec fingerprints, merged "
+        "metrics, failure taxonomy, provenance) in the experiment database "
+        "at PATH ('default' for $REPRO_EXPDB or expdb/experiments.sqlite)",
+    )
     fuzz_group = parser.add_argument_group("fuzz target")
     fuzz_group.add_argument(
         "--workload", default="ra",
@@ -461,11 +467,22 @@ def main(argv=None):
         started = time.time()
         extra = _supervision_kwargs(args, target=name,
                                     multi_target=len(names) > 1)
+        recorder = None
+        if args.expdb:
+            from repro.expdb import SweepRecorder, default_db_path
+
+            db_path = (default_db_path() if args.expdb == "default"
+                       else args.expdb)
+            recorder = SweepRecorder(db_path, name)
+            extra["recorder"] = recorder
         with maybe_profile(args.profile, out_path=args.profile_out):
             result = TARGETS[name](quick=args.quick, jobs=jobs,
                                    metrics=registry, **extra)
         print(result.render())
         print("[%s regenerated in %.1fs, jobs=%d]" % (name, time.time() - started, jobs))
+        if recorder is not None and recorder.run_id is not None:
+            print("[expdb run %d (%s)]"
+                  % (recorder.run_id, recorder.run_key[:12]))
         print()
         failures.extend(
             (name, failure) for failure in getattr(result, "failures", ())

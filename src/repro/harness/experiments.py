@@ -103,7 +103,7 @@ def _failures_note(failures):
 
 
 def _sweep(specs, jobs, metrics=None, timeline_dir=None, supervise=None,
-           journal=None):
+           journal=None, recorder=None):
     """Run a sweep's spec list and key the results by spec key.
 
     ``metrics`` (a :class:`~repro.telemetry.MetricRegistry`) turns on
@@ -113,6 +113,8 @@ def _sweep(specs, jobs, metrics=None, timeline_dir=None, supervise=None,
     ``supervise``/``journal`` route the sweep through the supervision
     layer (timeouts, retry, checkpoint/resume — see docs/resilience.md);
     the supervisor's ``supervisor.*`` counters land in ``metrics``.
+    ``recorder`` (a :class:`~repro.expdb.recorder.SweepRecorder`) records
+    the finished sweep in the experiment database.
     """
     if metrics is not None or timeline_dir is not None:
         for spec in specs:
@@ -120,9 +122,9 @@ def _sweep(specs, jobs, metrics=None, timeline_dir=None, supervise=None,
             spec.timeline_dir = timeline_dir
     if supervise is not None or journal is not None:
         results = run_jobs(specs, jobs, supervise=supervise, journal=journal,
-                           metrics=metrics)
+                           metrics=metrics, recorder=recorder)
     else:
-        results = run_jobs(specs, jobs)
+        results = run_jobs(specs, jobs, recorder=recorder)
     if metrics is not None:
         merge_job_metrics(results, into=metrics)
     return SweepOutcomes(results)
@@ -159,7 +161,7 @@ class Fig2Result:
 
 
 def fig2(quick=False, jobs=None, metrics=None, timeline_dir=None,
-         supervise=None, journal=None):
+         supervise=None, journal=None, recorder=None):
     """Speedup of every STM variant over CGL on the five workloads."""
     specs = []
     for name in FIG2_WORKLOADS:
@@ -181,7 +183,7 @@ def fig2(quick=False, jobs=None, metrics=None, timeline_dir=None,
                 )
             )
     outcomes = _sweep(specs, jobs, metrics, timeline_dir,
-                      supervise=supervise, journal=journal)
+                      supervise=supervise, journal=journal, recorder=recorder)
 
     result = Fig2Result()
     result.failures = outcomes.failures
@@ -245,7 +247,7 @@ FIG3_VARIANTS = ("egpgv", "vbv", "tbv-sorting", "hv-backoff", "hv-sorting", "opt
 
 def fig3(workload_name="ra", thread_counts=(8, 32, 128, 512, 2048), total_txs=2048,
          quick=False, jobs=None, metrics=None, timeline_dir=None,
-         supervise=None, journal=None):
+         supervise=None, journal=None, recorder=None):
     """Fixed total work split over a swept number of threads.
 
     Reproduces: EGPGV crashes early (static per-block metadata), VBV
@@ -270,7 +272,7 @@ def fig3(workload_name="ra", thread_counts=(8, 32, 128, 512, 2048), total_txs=20
                 )
             )
     outcomes = _sweep(specs, jobs, metrics, timeline_dir,
-                      supervise=supervise, journal=journal)
+                      supervise=supervise, journal=journal, recorder=recorder)
 
     result = Fig3Result(workload_name, list(thread_counts))
     result.failures = outcomes.failures
@@ -349,6 +351,7 @@ def fig4(
     timeline_dir=None,
     supervise=None,
     journal=None,
+    recorder=None,
 ):
     """EigenBench sweep: HV vs TBV across shared-data and lock-table sizes.
 
@@ -379,7 +382,7 @@ def fig4(
                         )
                     )
     outcomes = _sweep(specs, jobs, metrics, timeline_dir,
-                      supervise=supervise, journal=journal)
+                      supervise=supervise, journal=journal, recorder=recorder)
 
     result = Fig4Result(list(shared_sizes), list(lock_sizes), list(thread_counts))
     result.failures = outcomes.failures
@@ -427,7 +430,7 @@ class Fig5Result:
 
 
 def fig5(quick=False, jobs=None, metrics=None, timeline_dir=None,
-         supervise=None, journal=None):
+         supervise=None, journal=None, recorder=None):
     """Phase breakdown of GN-1, GN-2, LB and KM under STM-Optimized.
 
     Paper shape: GN-2 dominated by STM overhead (init/buffering); LB and KM
@@ -440,7 +443,7 @@ def fig5(quick=False, jobs=None, metrics=None, timeline_dir=None,
         for name in ("gn", "lb", "km")
     ]
     outcomes = _sweep(specs, jobs, metrics, timeline_dir,
-                      supervise=supervise, journal=journal)
+                      supervise=supervise, journal=journal, recorder=recorder)
 
     result = Fig5Result()
     result.failures = outcomes.failures
@@ -483,14 +486,14 @@ class Table1Result:
 
 
 def table1(quick=False, jobs=None, metrics=None, timeline_dir=None,
-           supervise=None, journal=None):
+           supervise=None, journal=None, recorder=None):
     """Measure the Table 1 columns for every workload under hv-sorting."""
     names = ("ra", "ht", "eb", "lb", "gn", "km")
     specs = [
         JobSpec(name, name, _params(name, quick), "hv-sorting") for name in names
     ]
     outcomes = _sweep(specs, jobs, metrics, timeline_dir,
-                      supervise=supervise, journal=journal)
+                      supervise=supervise, journal=journal, recorder=recorder)
 
     result = Table1Result()
     result.failures = outcomes.failures
@@ -585,7 +588,7 @@ class AblationResult:
 
 
 def ablations(quick=False, jobs=None, metrics=None, timeline_dir=None,
-              supervise=None, journal=None):
+              supervise=None, journal=None, recorder=None):
     """Isolate the paper's design decisions one at a time."""
     from repro.gpu import Device, ProgressError
     from repro.gpu.config import GpuConfig
@@ -652,7 +655,7 @@ def ablations(quick=False, jobs=None, metrics=None, timeline_dir=None,
             )
         )
     outcomes = _sweep(specs, jobs, metrics, timeline_dir,
-                      supervise=supervise, journal=journal)
+                      supervise=supervise, journal=journal, recorder=recorder)
 
     result.failures = outcomes.failures
     for label in ("flat", "hashed"):
@@ -690,7 +693,7 @@ def ablations(quick=False, jobs=None, metrics=None, timeline_dir=None,
 
 
 def table2(quick=False, jobs=None, metrics=None, timeline_dir=None,
-           supervise=None, journal=None):
+           supervise=None, journal=None, recorder=None):
     """Sweep launch geometries per workload; report the optimum."""
     sweeps = {
         "ra": [(8, 32), (16, 32), (16, 64), (32, 32)],
@@ -716,7 +719,7 @@ def table2(quick=False, jobs=None, metrics=None, timeline_dir=None,
                 )
             )
     outcomes = _sweep(specs, jobs, metrics, timeline_dir,
-                      supervise=supervise, journal=journal)
+                      supervise=supervise, journal=journal, recorder=recorder)
 
     result = Table2Result()
     result.failures = outcomes.failures

@@ -385,7 +385,7 @@ def _pool_error_result(spec, exc):
 
 
 def run_jobs(specs, jobs=None, executor=None, supervise=None, journal=None,
-             chaos=None, metrics=None):
+             chaos=None, metrics=None, recorder=None):
     """Execute ``specs``; return the executor's results in spec order.
 
     ``executor`` maps one spec to one result and must never raise; it
@@ -408,6 +408,11 @@ def run_jobs(specs, jobs=None, executor=None, supervise=None, journal=None,
     ``None``: the happy path below runs exactly as before, with no
     supervision machinery on it.  ``metrics`` (a ``MetricRegistry``)
     receives the ``supervisor.*`` counters when supervision is active.
+
+    ``recorder`` — a callable ``(specs, results, metrics)``, typically a
+    :class:`~repro.expdb.recorder.SweepRecorder` — is invoked exactly
+    once with the finished sweep so the invocation lands in the
+    experiment database; ``None`` (the default) records nothing.
     """
     if supervise is not None or journal is not None or chaos is not None:
         # imported lazily: the unsupervised path must not pay for (or
@@ -417,6 +422,7 @@ def run_jobs(specs, jobs=None, executor=None, supervise=None, journal=None,
         return run_supervised(
             specs, jobs=jobs, config=supervise, journal=journal,
             chaos=chaos, executor=executor, metrics=metrics,
+            recorder=recorder,
         )
     specs = list(specs)
     if executor is None:
@@ -424,7 +430,10 @@ def run_jobs(specs, jobs=None, executor=None, supervise=None, journal=None,
     if jobs is None:
         jobs = default_jobs()
     if jobs <= 1 or len(specs) <= 1:
-        return [executor(spec) for spec in specs]
+        results = [executor(spec) for spec in specs]
+        if recorder is not None:
+            recorder(specs, results, metrics)
+        return results
     # imported lazily: the serial path must work even where process
     # spawning is unavailable (sandboxes, some CI runners)
     from concurrent.futures import ProcessPoolExecutor
@@ -443,4 +452,6 @@ def run_jobs(specs, jobs=None, executor=None, supervise=None, journal=None,
                 results.append(future.result())
             except Exception as exc:  # noqa: BLE001 - captured per job
                 results.append(_pool_error_result(spec, exc))
-        return results
+    if recorder is not None:
+        recorder(specs, results, metrics)
+    return results

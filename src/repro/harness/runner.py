@@ -35,6 +35,19 @@ class RunResult:
         self.crashed = False
         self.crash_reason = None
 
+    def as_summary(self):
+        """Deterministic plain-data digest of the run, for the experiment
+        database's per-cell summaries — numbers only, nothing timed."""
+        return {
+            "workload": self.workload,
+            "variant": self.variant,
+            "cycles": self.cycles,
+            "commits": self.commits,
+            "abort_rate": round(self.abort_rate, 6),
+            "crashed": self.crashed,
+            "crash_reason": self.crash_reason,
+        }
+
     def __repr__(self):
         if self.crashed:
             return "RunResult(%s/%s CRASHED: %s)" % (

@@ -477,7 +477,8 @@ def _run_pool(sup, pending, workers):
 
 
 def run_supervised(specs, jobs=None, config=None, journal=None, chaos=None,
-                   executor=None, metrics=None, sleep=time.sleep):
+                   executor=None, metrics=None, sleep=time.sleep,
+                   recorder=None):
     """Execute ``specs`` under supervision; results in spec order.
 
     The entry point behind ``run_jobs(..., supervise=..., journal=...,
@@ -487,7 +488,12 @@ def run_supervised(specs, jobs=None, config=None, journal=None, chaos=None,
     ``metrics`` a :class:`~repro.telemetry.MetricRegistry` receiving the
     ``supervisor.*`` counters (a throwaway registry is used when absent).
     ``sleep`` is injectable so tests assert backoff schedules without
-    waiting them out.
+    waiting them out.  ``recorder`` — a ``(specs, results, metrics)``
+    callable, typically a :class:`~repro.expdb.recorder.SweepRecorder` —
+    is invoked once at sweep completion with the *effective* specs (the
+    cycle budget overlaid, i.e. exactly what was fingerprinted and
+    journaled), so the experiment-DB record carries the same
+    fingerprints a journal of this sweep checkpoints under.
 
     ``jobs <= 1`` runs attempts in-process (no wall timeouts, and chaos
     kinds that kill or hang the worker are rejected — they would take the
@@ -551,4 +557,6 @@ def run_supervised(specs, jobs=None, config=None, journal=None, chaos=None,
     finally:
         if own_journal is not None:
             own_journal.close()
+    if recorder is not None:
+        recorder(effective, results, registry)
     return results

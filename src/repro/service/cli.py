@@ -138,6 +138,12 @@ def build_parser():
         help="also record a Chrome-trace timeline per cell under "
         "DIR/timelines/",
     )
+    artifact_group.add_argument(
+        "--expdb", default=None, metavar="PATH",
+        help="record the sweep (fingerprints, metrics, artifact hashes) "
+        "in the experiment database at PATH ('default' for $REPRO_EXPDB "
+        "or expdb/experiments.sqlite)",
+    )
     return parser
 
 
@@ -201,6 +207,16 @@ def main(argv=None):
         registry = MetricRegistry()
     timeline_dir = os.path.join(args.out, "timelines") if args.timeline else None
 
+    recorder = None
+    if args.expdb:
+        from repro.expdb import SweepRecorder, default_db_path
+
+        db_path = default_db_path() if args.expdb == "default" else args.expdb
+        recorder = SweepRecorder(
+            db_path, "ledger-service", seed=args.seed,
+            summary={"arrival": args.arrival},
+        )
+
     started = time.time()
     report = run_service_sweep(
         variants, loads, skews=skews, arrival=args.arrival, seed=args.seed,
@@ -208,7 +224,7 @@ def main(argv=None):
         clients=args.clients, think_mean=args.think_cycles,
         service_overrides=service_overrides or None, jobs=args.jobs,
         supervise=supervise, journal=args.resume, metrics=registry,
-        timeline_dir=timeline_dir,
+        timeline_dir=timeline_dir, recorder=recorder,
     )
     print(report.render())
     summary_path = write_artifacts(report, args.out)
@@ -217,6 +233,11 @@ def main(argv=None):
         metrics_path = os.path.join(args.out, "metrics.json")
         registry.write_json(metrics_path)
         print("[metrics -> %s]" % metrics_path)
+    if recorder is not None and recorder.run_id is not None:
+        recorder.add_artifacts([summary_path])
+        print("[expdb run %d (%s) -> %s]"
+              % (recorder.run_id, recorder.run_key[:12], recorder.db
+                 if isinstance(recorder.db, str) else recorder.db.path))
     print("[service sweep: %d cell(s) in %.1fs, jobs=%d]"
           % (len(report.specs), time.time() - started, args.jobs))
     if not report.ok:

@@ -252,13 +252,15 @@ def run_service_sweep(variants, loads, skews=(0.8,), arrival="poisson",
                       clients=64, think_mean=2000, service_overrides=None,
                       stm_overrides=None, gpu_overrides=None, jobs=None,
                       supervise=None, journal=None, metrics=None,
-                      timeline_dir=None):
+                      timeline_dir=None, recorder=None):
     """Run the full sweep; returns a :class:`ServiceSweepReport`.
 
     ``supervise``/``journal`` route the cells through the supervision
     layer (see :mod:`repro.harness.supervisor`); ``metrics`` (a
     ``MetricRegistry``) turns on per-cell telemetry and merges the
-    worker registries into it.
+    worker registries into it.  ``recorder`` (a
+    :class:`~repro.expdb.recorder.SweepRecorder`) records the sweep in
+    the experiment database.
     """
     specs = build_specs(
         variants, loads, skews, arrival=arrival, seed=seed,
@@ -272,6 +274,7 @@ def run_service_sweep(variants, loads, skews=(0.8,), arrival="poisson",
     results = run_jobs(
         specs, jobs=jobs, executor=execute_service_job,
         supervise=supervise, journal=journal, metrics=metrics,
+        recorder=recorder,
     )
     wall = time.perf_counter() - started
     if metrics is not None:
@@ -298,14 +301,19 @@ def run_service_sweep(variants, loads, skews=(0.8,), arrival="poisson",
 def write_artifacts(report, out_dir):
     """Write the summary + wall-clock info under ``out_dir``; returns the
     summary path.  The summary is deterministic; ``run_info.json`` holds
-    everything wall-clock so reruns diff clean."""
+    everything wall-clock and machine-specific — including the run's
+    provenance snapshot (git SHA + dirty flag, interpreter and package
+    versions; see :mod:`repro.expdb.provenance`) — so reruns diff clean."""
     import os
+
+    from repro.expdb.provenance import provenance_snapshot
 
     os.makedirs(out_dir, exist_ok=True)
     summary_path = os.path.join(out_dir, "service_summary.json")
     atomic_write_json(summary_path, report.summary)
     run_info = {
         "wall_seconds": round(report.wall_seconds, 3),
+        "provenance": provenance_snapshot(),
         "cells": {
             spec.key: {
                 "wall_seconds": (

@@ -1,15 +1,22 @@
 """Schema validation for telemetry artifacts.
 
-``python -m repro.telemetry.validate FILE [FILE ...]`` checks each file:
-Chrome-trace JSON (objects with a ``traceEvents`` list) is validated
-against the Trace Event Format requirements the viewers actually enforce;
-metrics JSON (objects with ``counters``/``gauges``/``histograms`` maps) is
-validated against the :class:`~repro.telemetry.registry.MetricRegistry`
-serialization.  Exit code 0 when every file validates — CI's
+``python -m repro.telemetry.validate PATH [PATH ...]`` checks each
+artifact: Chrome-trace JSON (objects with a ``traceEvents`` list) is
+validated against the Trace Event Format requirements the viewers
+actually enforce; metrics JSON (objects with
+``counters``/``gauges``/``histograms`` maps) is validated against the
+:class:`~repro.telemetry.registry.MetricRegistry` serialization.
+
+A PATH may be a file, a directory (every ``*.json`` under it,
+recursively), or a glob pattern — so a whole artifact tree validates in
+one invocation.  Validation stops at the **first** invalid file with
+exit code 1; exit code 0 means every file validated.  CI's
 telemetry-smoke job runs this over the artifacts it uploads.
 """
 
+import glob
 import json
+import os
 import sys
 
 _NUMBER = (int, float)
@@ -105,20 +112,46 @@ def validate_file(path):
     return "%s: valid metrics dump (%d counters)" % (path, count)
 
 
+def expand_paths(args):
+    """Resolve the CLI's PATH arguments to a flat, ordered file list.
+
+    A directory expands to every ``*.json`` under it (recursively,
+    sorted); an argument with glob characters expands to its sorted
+    matches; anything else passes through as a file path.  Arguments
+    that expand to nothing are kept verbatim so the open() failure is
+    reported against what the user typed.
+    """
+    paths = []
+    for arg in args:
+        if os.path.isdir(arg):
+            found = sorted(glob.glob(
+                os.path.join(arg, "**", "*.json"), recursive=True
+            ))
+            paths.extend(found if found else [arg])
+        elif any(char in arg for char in "*?["):
+            found = sorted(glob.glob(arg, recursive=True))
+            paths.extend(found if found else [arg])
+        else:
+            paths.append(arg)
+    return paths
+
+
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else list(argv)
     if not argv:
-        print("usage: python -m repro.telemetry.validate FILE [FILE ...]",
-              file=sys.stderr)
+        print("usage: python -m repro.telemetry.validate PATH [PATH ...]\n"
+              "  PATH: a file, a directory (validates every *.json under "
+              "it), or a glob", file=sys.stderr)
         return 2
-    failed = False
-    for path in argv:
+    for path in expand_paths(argv):
         try:
             print(validate_file(path))
         except (OSError, ValueError) as exc:
+            # fail fast: the first invalid artifact stops the scan, so CI
+            # logs end at the file that broke instead of burying it
             print("%s: INVALID: %s" % (path, exc), file=sys.stderr)
-            failed = True
-    return 1 if failed else 0
+            return 1
+    return 0
 
 
 if __name__ == "__main__":

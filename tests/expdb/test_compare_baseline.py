@@ -1,0 +1,46 @@
+"""compare_baseline.py ↔ experiment DB integration (subprocess-level)."""
+
+import os
+import subprocess
+import sys
+
+from repro.expdb.db import ExperimentDB
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SCRIPT = os.path.join(REPO, "benchmarks", "compare_baseline.py")
+
+
+def _run(args, db_path):
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    return subprocess.run(
+        [sys.executable, SCRIPT, "--db", db_path, "--repeat", "1",
+         "--lenient"] + args,
+        capture_output=True, text=True, env=env, cwd=REPO,
+    )
+
+
+class TestCompareBaselineRecord:
+    def test_record_grows_the_trajectory(self, tmp_path):
+        db_path = str(tmp_path / "perf.sqlite")
+
+        first = _run(["--record"], db_path)
+        assert first.returncode == 0, first.stdout + first.stderr
+        assert "rolling-window verdicts" in first.stdout
+        assert "NO-HISTORY" in first.stdout
+        assert "recorded perf run 1" in first.stdout
+
+        second = _run(["--record"], db_path)
+        assert second.returncode == 0, second.stdout + second.stderr
+        # the second invocation is judged against the recorded window
+        assert "NO-HISTORY" not in second.stdout
+        assert "OK" in second.stdout
+
+        with ExperimentDB(db_path) as db:
+            runs = db.runs(experiment="perf-baseline")
+            assert len(runs) == 2
+            # the work hash (case roster + step counts) is machine-stable
+            assert runs[0]["run_key"] == runs[1]["run_key"]
+            cases = db.perf_cases()
+            assert len(cases) == 4
+            for case in cases:
+                assert len(db.perf_window(case, 10)) == 2
