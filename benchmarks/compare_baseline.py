@@ -34,15 +34,20 @@ from pathlib import Path
 
 BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
 
+# (case name, workload, variant, gpu_overrides): the case name is the
+# baseline key, so the multi-device case stays distinct from a
+# single-device run of the same workload/variant
 CASES = [
-    ("ra", "hv-sorting"),
-    ("ra", "vbv"),
-    ("ra", "cgl"),
-    ("ht", "optimized"),
+    ("ra/hv-sorting", "ra", "hv-sorting", None),
+    ("ra/vbv", "ra", "vbv", None),
+    ("ra/cgl", "ra", "cgl", None),
+    ("ht/optimized", "ht", "optimized", None),
+    ("mg-2dev/optimized", "mg", "optimized",
+     {"devices": 2, "link_model": "uniform:60"}),
 ]
 
 
-def measure(workload, variant, repeat):
+def measure(workload, variant, repeat, gpu_overrides=None):
     from repro.harness import configs
     from repro.sched.explore import run_under_schedule
 
@@ -51,7 +56,8 @@ def measure(workload, variant, repeat):
     steps = None
     for _ in range(repeat):
         start = time.perf_counter()
-        outcome = run_under_schedule(workload, params, variant)
+        outcome = run_under_schedule(workload, params, variant,
+                                     gpu_overrides=gpu_overrides)
         elapsed = time.perf_counter() - start
         if outcome.failure is not None:
             raise SystemExit(
@@ -86,8 +92,8 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     current = {
-        "%s/%s" % (workload, variant): measure(workload, variant, args.repeat)
-        for workload, variant in CASES
+        case: measure(workload, variant, args.repeat, gpu_overrides)
+        for case, workload, variant, gpu_overrides in CASES
     }
 
     if args.update:

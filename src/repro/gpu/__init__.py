@@ -26,10 +26,11 @@ from repro.gpu.errors import GpuError, LivelockError, ProgressError, LaunchError
 from repro.gpu.events import Phase
 from repro.gpu.kernel import KernelResult
 from repro.gpu.memory import GlobalMemory
-from repro.gpu.scheduler import Device
+from repro.gpu.scheduler import Device, make_device
 
 __all__ = [
     "Device",
+    "make_device",
     "GlobalMemory",
     "GpuConfig",
     "GpuError",

@@ -90,6 +90,16 @@ class GpuConfig:
     # docs/simulator.md).  The REPRO_SM_SHARDS environment variable
     # overrides this field at launch time.
     sm_shards: int = 0
+    # Multi-device topology: with devices > 1 the launcher built by
+    # repro.gpu.make_device is a repro.multigpu MultiDevice — num_sms is
+    # then the per-device SM count, link_model a spec accepted by
+    # repro.multigpu.topology.make_link_model (None = defaults, a preset
+    # name, "uniform:LAT", "switched:SAME,CROSS[,PER_SWITCH]", a dict or a
+    # LinkModel), and global addresses interleave across devices in
+    # device_interleave_words-sized lines (the home-device function).
+    devices: int = 1
+    link_model: object = None
+    device_interleave_words: int = 32
     costs: CostModel = field(default_factory=CostModel)
     # Watchdog: launch fails with ProgressError after this many warp steps.
     max_steps: int = 20_000_000
@@ -111,6 +121,14 @@ class GpuConfig:
             raise ValueError("warp_steps_per_turn must be >= 1")
         if self.sm_shards < 0:
             raise ValueError("sm_shards must be >= 0")
+        if self.devices < 1:
+            raise ValueError("devices must be >= 1")
+        interleave = self.device_interleave_words
+        if interleave < 1 or interleave & (interleave - 1):
+            raise ValueError(
+                "device_interleave_words must be a positive power of two, got %d"
+                % interleave
+            )
 
 
 def small_config(warp_size=4, num_sms=2, max_steps=2_000_000):

@@ -23,6 +23,7 @@ class KernelResult:
         "thread_cycles_in_tx",
         "mem_txns",
         "bandwidth_cycles",
+        "device_cycles",
         "schedule_trace",
     )
 
@@ -38,6 +39,8 @@ class KernelResult:
         self.thread_cycles_in_tx = 0
         self.mem_txns = 0
         self.bandwidth_cycles = 0
+        # per-device cycle domains of a multi-device launch, else None
+        self.device_cycles = None
         # ScheduleTrace of the launch when recorded, else None
         self.schedule_trace = None
 

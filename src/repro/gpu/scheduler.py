@@ -26,6 +26,7 @@ of hanging the host.
 """
 
 import os
+import sys
 from collections import deque
 
 from repro.gpu.config import GpuConfig
@@ -58,6 +59,34 @@ def resolve_sm_shards(config):
     if shards < 0:
         raise LaunchError("sm_shards must be >= 0, got %d" % shards)
     return min(shards, config.num_sms)
+
+
+# sharded execution bypass (injector/sanitizer armed): stderr note emitted
+# at most once per process; the telemetry counter counts every launch
+_BYPASS_NOTED = False
+
+
+def note_shards_bypassed(tel):
+    """Sharded-SM execution was requested but must fall back to sequential.
+
+    Fault-injection / sanitizer runs hook the sequential issue loop, so a
+    launch with both sharding *and* an armed instrument runs sequentially.
+    That used to happen silently — a sharded perf campaign with a
+    sanitizer armed would quietly measure the sequential loops.  Now every
+    bypassed launch bumps the ``gpu.shards.bypassed`` counter (when a
+    telemetry session is attached) and the first one per process says so
+    on stderr.
+    """
+    global _BYPASS_NOTED
+    if tel is not None:
+        tel.registry.add("gpu.shards.bypassed")
+    if not _BYPASS_NOTED:
+        _BYPASS_NOTED = True
+        print(
+            "repro: sharded-SM execution bypassed (fault injector or "
+            "sanitizer armed); launches run on the sequential issue loops",
+            file=sys.stderr,
+        )
 
 
 class _Sm:
@@ -191,9 +220,13 @@ class Device:
             trace = ScheduleTrace(policy=spec if isinstance(spec, str) else policy.name)
 
         shards = resolve_sm_shards(config)
-        if shards > 1 and len(sms) > 1 and injector is None and sanitizer is None:
-            # (fault-injection / sanitizer runs keep the sequential loop —
-            # those instruments hook it directly)
+        if shards > 1 and (injector is not None or sanitizer is not None):
+            # fault-injection / sanitizer runs keep the sequential loop —
+            # those instruments hook it directly.  Loudly: a counter per
+            # bypassed launch plus a once-per-process stderr note.
+            note_shards_bypassed(tel)
+            shards = 0
+        if shards > 1 and len(sms) > 1:
             # sharded-SM execution: SMs are partitioned across worker
             # threads, with per-turn sequencing that preserves the
             # sequential issue order exactly (see repro.gpu.shards)
@@ -513,3 +546,20 @@ class Device:
                 for tc in warp.lane_ctxs:
                     result.absorb_thread(tc)
         return result
+
+
+def make_device(config=None, telemetry=None):
+    """Build the launcher for ``config``: a single :class:`Device`, or a
+    :class:`~repro.multigpu.device.MultiDevice` when ``config.devices > 1``.
+
+    Every harness-level call site constructs its launcher through this
+    factory, which is how the ``devices`` / ``link_model`` axis on
+    :class:`~repro.gpu.config.GpuConfig` reaches them without a
+    conditional of their own.  The multi-GPU package is imported lazily:
+    single-device runs never load it.
+    """
+    if config is not None and getattr(config, "devices", 1) > 1:
+        from repro.multigpu.device import MultiDevice
+
+        return MultiDevice(config, telemetry=telemetry)
+    return Device(config, telemetry=telemetry)

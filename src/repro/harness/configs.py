@@ -74,6 +74,12 @@ def bench_workload_params(name):
         # of traffic on the hottest 1% of accounts
         return dict(num_accounts=16384, grid=16, block=32, txs_per_thread=2,
                     skew=0.8)
+    if name == "mg":
+        # the sharded ledger: milder account skew than lg (contention
+        # comes from the remote fraction, not one hot account) and 30%
+        # cross-device destinations by default
+        return dict(num_accounts=16384, grid=16, block=32, txs_per_thread=2,
+                    skew=0.6, remote_frac=0.3)
     raise ValueError("no benchmark parameters for workload %r" % name)
 
 
@@ -97,6 +103,11 @@ def test_workload_params(name):
     if name == "lg":
         return dict(num_accounts=128, grid=2, block=16, txs_per_thread=2,
                     skew=0.8)
+    if name == "mg":
+        # grid=4: covers every SM of the 2-device explore geometry (2 SMs
+        # per device), so both devices execute blocks
+        return dict(num_accounts=256, grid=4, block=16, txs_per_thread=2,
+                    skew=0.6, remote_frac=0.3)
     raise ValueError("no test parameters for workload %r" % name)
 
 

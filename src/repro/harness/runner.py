@@ -1,6 +1,6 @@
 """Run one (workload, STM variant) combination and collect metrics."""
 
-from repro.gpu import Device
+from repro.gpu import make_device
 from repro.gpu.errors import GpuError
 from repro.stm import StmConfig, make_runtime
 from repro.stm.errors import EgpgvCapacityError
@@ -116,7 +116,7 @@ def run_workload(
 
         if not isinstance(fault_plan, FaultPlan):
             fault_plan = FaultPlan(fault_plan)
-    device = Device(gpu_config, telemetry=telemetry)
+    device = make_device(gpu_config, telemetry=telemetry)
     workload.setup(device)
     overrides = dict(stm_overrides or {})
     overrides.setdefault("num_locks", num_locks)

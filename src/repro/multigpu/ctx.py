@@ -1,0 +1,120 @@
+"""Cross-device access accounting: a mixin over any thread-context class.
+
+Kernels keep using one flat :class:`~repro.gpu.memory.GlobalMemory`; what a
+multi-device launch changes is the *cost* of touching a word whose home
+device (``topology.home_of``) differs from the device the issuing block
+runs on.  :func:`make_multigpu_ctx` builds (and caches) a subclass of the
+launch's base context class — :class:`~repro.gpu.thread.ThreadCtx`, the
+telemetry context, or the fault-instrumented context — whose
+globally-visible operations first charge the link cost of a remote access,
+then defer to the base implementation, so telemetry mirroring and
+fault-injection filtering keep working unchanged underneath.
+
+Remote cost accounting per operation:
+
+* ``charge(phase, link_latency)`` — the lane waits for the remote reply;
+  charged to the operation's phase so abort-window reclassification and
+  the Figure-5 breakdown see link time like any other latency.  ``charge``
+  does not record an operation, so ``strict_lockstep`` stays satisfied.
+* ``warp.step_extra += link_latency + link_txn_cost`` — the synchronous
+  round trip stalls the warp (this is what stretches lock hold times and
+  bends the survival map), and link occupancy sums across lanes into the
+  warp-step cost (remote traffic does not coalesce).  Same contract as
+  :meth:`~repro.gpu.thread.ThreadCtx.extra_cost`, kept inline for the
+  per-operation hot path.
+* ``mg.*`` counters — per-kind (read/write/atomic) and per-device
+  remote/local traffic, republished as ``multigpu.*`` registry metrics by
+  the launcher.
+"""
+
+from repro.gpu.events import Phase
+
+#: base context class -> generated multi-GPU subclass (class creation per
+#: launch would defeat CPython's method caches)
+_MG_CTX_CACHE = {}
+
+_MG_SLOTS = (
+    "mg_device",
+    "_mg_shift",
+    "_mg_ndev",
+    "_mg_lat",
+    "_mg_txn",
+    "_mg_key_remote",
+    "_mg_key_local",
+)
+
+
+def make_multigpu_ctx(base_cls):
+    """Return the multi-GPU accounting subclass of ``base_cls`` (cached)."""
+    cached = _MG_CTX_CACHE.get(base_cls)
+    if cached is not None:
+        return cached
+
+    class MultiGpuCtx(base_cls):
+        __slots__ = _MG_SLOTS
+
+        # __init__ is inherited untouched: the launcher constructs the
+        # context with the base class's own signature, then binds the
+        # topology with _mg_init — one subclass covers all base classes.
+        def _mg_init(self, topology, device_index):
+            self.mg_device = device_index
+            self._mg_shift = topology._shift
+            self._mg_ndev = topology.devices
+            self._mg_lat = topology.latency_row(device_index)
+            self._mg_txn = topology.link_model.link_txn_cost
+            self._mg_key_remote = "mg.d%d.remote" % device_index
+            self._mg_key_local = "mg.d%d.local" % device_index
+
+        def _mg_account(self, addr, phase, key):
+            home = (addr >> self._mg_shift) % self._mg_ndev
+            counters = self.counters
+            if home == self.mg_device:
+                counters.add("mg.local.ops")
+                counters.add(self._mg_key_local)
+                return
+            latency = self._mg_lat[home]
+            self.charge(phase, latency)
+            self.warp.step_extra += latency + self._mg_txn
+            counters.add(key)
+            counters.add(self._mg_key_remote)
+            counters.add("mg.link.cycles", latency)
+
+        def gread(self, addr, phase=Phase.NATIVE):
+            self._mg_account(addr, phase, "mg.remote.read")
+            return base_cls.gread(self, addr, phase)
+
+        def gread_l2(self, addr, phase=Phase.NATIVE):
+            # remote metadata (version locks, spin polls) is not served by
+            # the local L2: the read crosses the link like any other
+            self._mg_account(addr, phase, "mg.remote.read")
+            return base_cls.gread_l2(self, addr, phase)
+
+        def gwrite(self, addr, value, phase=Phase.NATIVE):
+            self._mg_account(addr, phase, "mg.remote.write")
+            base_cls.gwrite(self, addr, value, phase)
+
+        def atomic_cas(self, addr, expected, new, phase=Phase.NATIVE):
+            self._mg_account(addr, phase, "mg.remote.atomic")
+            return base_cls.atomic_cas(self, addr, expected, new, phase)
+
+        def atomic_or(self, addr, value, phase=Phase.NATIVE):
+            self._mg_account(addr, phase, "mg.remote.atomic")
+            return base_cls.atomic_or(self, addr, value, phase)
+
+        def atomic_add(self, addr, value, phase=Phase.NATIVE):
+            # atomic_inc routes through here via the base delegation
+            self._mg_account(addr, phase, "mg.remote.atomic")
+            return base_cls.atomic_add(self, addr, value, phase)
+
+        def atomic_sub(self, addr, value, phase=Phase.NATIVE):
+            self._mg_account(addr, phase, "mg.remote.atomic")
+            return base_cls.atomic_sub(self, addr, value, phase)
+
+        def atomic_exch(self, addr, value, phase=Phase.NATIVE):
+            self._mg_account(addr, phase, "mg.remote.atomic")
+            return base_cls.atomic_exch(self, addr, value, phase)
+
+    MultiGpuCtx.__name__ = "MultiGpu" + base_cls.__name__
+    MultiGpuCtx.__qualname__ = MultiGpuCtx.__name__
+    _MG_CTX_CACHE[base_cls] = MultiGpuCtx
+    return MultiGpuCtx

@@ -1,0 +1,204 @@
+"""The multi-device launcher: N simulated GPUs, one deterministic launch.
+
+:class:`MultiDevice` extends :class:`~repro.gpu.scheduler.Device` to a
+topology of ``config.devices`` GPUs with ``config.num_sms`` SMs each.
+Blocks distribute round-robin over the *global* SM list (so block ``i``
+runs on device ``(i % total_sms) // num_sms``), every thread context is
+wrapped by the multi-GPU accounting mixin (:mod:`repro.multigpu.ctx`),
+and issue runs through the per-epoch sequencer
+(:mod:`repro.multigpu.sequencer`) — bit-identical between the sequential
+and token-ring-sharded executors.
+
+Cycle domains: each device has its own DRAM roofline, so kernel time is
+``max`` over devices of ``max(device SM cycles, device mem_txns *
+dram_txn_cost)`` — remote accesses burn *link* occupancy at the issuing
+SM (``warp.step_extra``) and DRAM bandwidth at the home device's memory
+system is modeled by where the transaction is counted (the issuing SM;
+link-side serialization dominates the remote path, which is what the
+link_txn_cost models).
+
+Construction is normally via :func:`repro.gpu.make_device`, which returns
+a plain ``Device`` for single-device configs so every existing call site
+gains the ``devices`` axis without a conditional of its own.
+"""
+
+from repro.gpu.config import GpuConfig
+from repro.gpu.errors import LaunchError
+from repro.gpu.kernel import KernelResult
+from repro.gpu.scheduler import Device, _Sm, note_shards_bypassed, resolve_sm_shards
+from repro.gpu.thread import ThreadCtx
+from repro.gpu.warp import build_block
+from repro.multigpu.ctx import make_multigpu_ctx
+from repro.multigpu.sequencer import issue_epochs, issue_epochs_sharded
+from repro.multigpu.topology import Topology
+from repro.sched.policy import make_policy
+from repro.sched.trace import ScheduleTrace
+
+
+class MultiDevice(Device):
+    """A topology of simulated GPUs behind the single-device interface."""
+
+    def __init__(self, config=None, telemetry=None):
+        super().__init__(config or GpuConfig(devices=2), telemetry)
+        config = self.config
+        if config.devices < 2:
+            raise LaunchError(
+                "MultiDevice requires config.devices >= 2, got %d "
+                "(use repro.gpu.make_device to pick the launcher)"
+                % config.devices
+            )
+        self.topology = Topology(
+            config.devices, config.link_model, config.device_interleave_words
+        )
+
+    @property
+    def total_sms(self):
+        return self.config.num_sms * self.config.devices
+
+    def launch(self, kernel, grid_blocks, block_threads, args=(), attach=None,
+               smem_words=0, policy=None, record_schedule=None):
+        """Run ``kernel`` across all devices of the topology.
+
+        Same contract as :meth:`Device.launch`; the result additionally
+        carries ``device_cycles`` (per-device cycle domains) and the
+        merged ``mg.*`` traffic counters.
+        """
+        if grid_blocks < 1 or block_threads < 1:
+            raise LaunchError(
+                "launch geometry must be positive, got grid=%d block=%d"
+                % (grid_blocks, block_threads)
+            )
+        config = self.config
+        num_sms = config.num_sms
+        total_sms = num_sms * config.devices
+        topology = self.topology
+        tel = self.telemetry
+
+        base_cls = ThreadCtx
+        extra = ()
+        if tel is not None:
+            tel.begin_launch(getattr(kernel, "__name__", str(kernel)), total_sms)
+            if tel.timeline is not None:
+                from repro.telemetry.ctx import TelemetryThreadCtx
+
+                base_cls = TelemetryThreadCtx
+                extra = (tel,)
+        injector = self.fault_injector
+        sanitizer = self.sanitizer
+        if injector is not None or sanitizer is not None:
+            if base_cls is not ThreadCtx:
+                raise LaunchError(
+                    "fault injection / sanitizing cannot be combined with a "
+                    "telemetry timeline: both own the thread-context factory"
+                )
+            from repro.faults.ctx import InstrumentedThreadCtx
+
+            base_cls = InstrumentedThreadCtx
+            extra = (injector, sanitizer)
+        mg_cls = make_multigpu_ctx(base_cls)
+
+        def ctx_factory(tid, lane_id, warp, block, mem, cfg):
+            tc = mg_cls(tid, lane_id, warp, block, mem, cfg, *extra)
+            tc._mg_init(topology, (block.index % total_sms) // num_sms)
+            return tc
+
+        blocks = []
+        for index in range(grid_blocks):
+            first_tid = index * block_threads
+            blocks.append(
+                build_block(
+                    index, block_threads, first_tid, self.mem, config, kernel,
+                    args, attach, smem_words=smem_words, ctx_factory=ctx_factory
+                )
+            )
+
+        sms = [_Sm(i) for i in range(total_sms)]
+        for index, block in enumerate(blocks):
+            sms[index % total_sms].pending.append(block)
+
+        policy = make_policy(config.scheduler if policy is None else policy)
+        if record_schedule is None:
+            record_schedule = config.record_schedule
+        trace = None
+        if record_schedule:
+            spec = policy.spec()
+            trace = ScheduleTrace(policy=spec if isinstance(spec, str) else policy.name)
+
+        shards = resolve_sm_shards(config)
+        if shards > 1 and (injector is not None or sanitizer is not None):
+            note_shards_bypassed(tel)
+            shards = 0
+        sm_mem_txns = [0] * total_sms
+        policy.reset(config)
+        if shards > 1 and total_sms > 1:
+            total_steps, total_mem_txns = issue_epochs_sharded(
+                self, sms, config, policy, trace, tel, sm_mem_txns, shards
+            )
+        else:
+            total_steps, total_mem_txns = issue_epochs(
+                self, sms, config, policy, trace, tel, sm_mem_txns
+            )
+
+        result = self._collect_multi(
+            kernel, blocks, sms, total_steps, total_mem_txns, config, sm_mem_txns
+        )
+        if tel is not None:
+            tel.publish_kernel(result, sms)
+            self._publish_multigpu(tel, result)
+        if trace is not None:
+            trace.meta.update(
+                kernel=result.kernel_name,
+                cycles=result.cycles,
+                steps=result.steps,
+                mem_txns=result.mem_txns,
+                num_sms=total_sms,
+                devices=config.devices,
+                warp_size=config.warp_size,
+                warp_steps_per_turn=config.warp_steps_per_turn,
+            )
+            result.schedule_trace = trace
+        self.launch_count += 1
+        self.launched_cycles += result.cycles
+        return result
+
+    def _collect_multi(self, kernel, blocks, sms, total_steps, total_mem_txns,
+                       config, sm_mem_txns):
+        num_sms = config.num_sms
+        dram = config.costs.dram_txn_cost
+        device_cycles = []
+        for d in range(config.devices):
+            lo = d * num_sms
+            hi = lo + num_sms
+            device_txns = sum(sm_mem_txns[lo:hi])
+            sm_max = max(sm.cycles for sm in sms[lo:hi])
+            device_cycles.append(max(sm_max, device_txns * dram))
+        result = KernelResult(
+            kernel_name=getattr(kernel, "__name__", str(kernel)),
+            cycles=max(device_cycles),
+            sm_cycles=[sm.cycles for sm in sms],
+            steps=total_steps,
+        )
+        result.mem_txns = total_mem_txns
+        # the roofline that could bind the launch: the busiest device's
+        # memory system (each device serves only its own SMs' traffic)
+        result.bandwidth_cycles = max(
+            sum(sm_mem_txns[d * num_sms:(d + 1) * num_sms]) * dram
+            for d in range(config.devices)
+        )
+        result.device_cycles = device_cycles
+        for block in blocks:
+            for warp in block.warps:
+                for tc in warp.lane_ctxs:
+                    result.absorb_thread(tc)
+        return result
+
+    def _publish_multigpu(self, tel, result):
+        """Per-device tracks + multigpu.* traffic metrics."""
+        registry = tel.registry
+        for d, cycles in enumerate(result.device_cycles):
+            registry.set_gauge("multigpu.d%d.cycles" % d, cycles)
+        counters = result.counters.as_dict()
+        for name, value in counters.items():
+            if name.startswith("mg."):
+                registry.add("multigpu." + name[3:], value)
+        registry.set_gauge("multigpu.devices", self.config.devices)

@@ -1,0 +1,146 @@
+"""Deterministic per-epoch message sequencer for multi-device launches.
+
+A multi-device launch schedules the SMs of *all* devices in one global
+list (device ``d`` owns indices ``[d*num_sms, (d+1)*num_sms)``).  An
+*epoch* is one round over the still-busy SMs in global index order, one
+policy-selected turn each — the same round structure as
+:meth:`~repro.gpu.scheduler.Device._issue_with_policy`, extended across
+devices.  Every cross-device effect (a remote read, a remote lock CAS, a
+remote commit write-back) happens inside some turn, so the inter-device
+message order is a pure function of the epoch sequence: deterministic,
+bit-identical across runs, and replayable from a recorded schedule trace.
+
+The threaded variant reuses the token ring of :mod:`repro.gpu.shards` —
+the token walks the same global SM order, so sharded multi-device launches
+are bit-identical to the sequential epoch loop by the same argument that
+pins single-device sharded execution to the sequential issue order.
+
+Per-SM memory-transaction accounting (``sm_mem_txns``) is what the
+single-device loops don't need: the launcher derives per-device DRAM
+roofline cycles from it (each device has its *own* memory system).
+"""
+
+import threading
+
+from repro.gpu.errors import LaunchError
+from repro.gpu.shards import _TurnRing, _partition
+
+
+def make_turn_runner(device, sms, config, policy, trace, tel, totals, sm_mem_txns):
+    """Build the one-turn closure shared by the epoch loop and the ring.
+
+    Mirrors the per-turn body of the sequential policy loop exactly
+    (including the injector's scheduler hook and the watchdog), plus the
+    per-SM memory-transaction accounting.
+    """
+    max_steps = config.max_steps
+    record = trace.record if trace is not None else None
+    injector = device.fault_injector
+
+    def run_turn(sm):
+        if sm.pending:
+            sm.refill(config)
+        warps = sm.resident_warps
+        if not warps:
+            return
+        index = policy.select(sm)
+        if not 0 <= index < len(warps):
+            raise LaunchError(
+                "scheduling policy %r selected warp index %r of %d "
+                "resident warps on SM %d"
+                % (policy.name, index, len(warps), sm.index)
+            )
+        if injector is not None:
+            index = injector.select_index(sm.index, warps, index)
+        warp = warps[index]
+        block = warp.block
+        quota = policy.quota(sm, warp)
+        issued = 0
+        turn_start = sm.cycles if tel is not None else 0
+        for _turn in range(quota):
+            cost, finished, mem_txns = warp.step()
+            sm.cycles += cost
+            totals[1] += mem_txns
+            totals[0] += 1
+            sm_mem_txns[sm.index] += mem_txns
+            issued += 1
+            if finished:
+                block.lanes_finished(finished)
+            elif block.barrier_waiting:
+                block.maybe_release_barrier()
+            if warp.live == 0:
+                break
+        if record is not None:
+            record(sm.index, warp.warp_id, issued)
+        if tel is not None:
+            tel.record_turn(
+                sm.index, warp.warp_id, turn_start,
+                sm.cycles - turn_start, issued,
+            )
+        retired = warp.live == 0
+        if retired:
+            warps.pop(index)
+            if block.live_lanes == 0:
+                sm.resident_blocks -= 1
+        policy.issued(sm, index, retired)
+        if totals[0] > max_steps:
+            error = device._watchdog_error(totals[0], sms)
+            if tel is not None:
+                tel.publish_snapshot(error.snapshot)
+            error.schedule_trace = trace
+            raise error
+
+    return run_turn
+
+
+def issue_epochs(device, sms, config, policy, trace, tel, sm_mem_txns):
+    """Sequential epoch loop; returns ``(total_steps, total_mem_txns)``."""
+    totals = [0, 0]  # [steps, mem_txns]
+    run_turn = make_turn_runner(
+        device, sms, config, policy, trace, tel, totals, sm_mem_txns
+    )
+    active = [sm for sm in sms if sm.busy()]
+    while active:
+        still_active = []
+        for sm in active:
+            run_turn(sm)
+            if sm.busy():
+                still_active.append(sm)
+        active = still_active
+    return totals[0], totals[1]
+
+
+def issue_epochs_sharded(device, sms, config, policy, trace, tel, sm_mem_txns, shards):
+    """Token-ring epoch loop: worker threads, sequential turn order."""
+    ring = _TurnRing(len(sms))
+    totals = [0, 0]
+    run_turn = make_turn_runner(
+        device, sms, config, policy, trace, tel, totals, sm_mem_txns
+    )
+
+    def worker(owned):
+        while True:
+            sm_index = ring.acquire_turn(owned)
+            if sm_index is None:
+                return
+            sm = sms[sm_index]
+            try:
+                run_turn(sm)
+            except BaseException as error:  # propagate to the launcher
+                ring.fail(error)
+                return
+            ring.release_turn(sm_index, sm.busy())
+
+    workers = [
+        threading.Thread(
+            target=worker, args=(owned,), name="repro-mg-shard-%d" % w
+        )
+        for w, owned in enumerate(_partition(len(sms), shards))
+    ]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    if ring.failure is not None:
+        raise ring.failure
+    return totals[0], totals[1]

@@ -14,7 +14,7 @@ carrying the recorded schedule, so the fuzzer and the shrinker can act on
 it.
 """
 
-from repro.gpu import Device
+from repro.gpu import make_device
 from repro.gpu.config import GpuConfig
 from repro.gpu.errors import LivelockError, ProgressError
 from repro.sched.policy import make_policy
@@ -75,6 +75,7 @@ class ScheduleOutcome:
         "violations",
         "fired",
         "livelock",
+        "counters",
     )
 
     def __init__(self, workload, variant, policy):
@@ -95,6 +96,9 @@ class ScheduleOutcome:
         self.violations = []
         self.fired = []
         self.livelock = False
+        # merged per-launch operation counters (plain dict, picklable);
+        # multi-device runs carry their mg.* traffic totals here
+        self.counters = {}
 
     @property
     def ok(self):
@@ -136,6 +140,7 @@ def run_under_schedule(
     runtime_factory=None,
     sanitize=False,
     fault_plan=None,
+    telemetry=None,
 ):
     """Execute ``workload_name`` under ``variant`` with a given schedule.
 
@@ -159,6 +164,11 @@ def run_under_schedule(
     region-relative fault addresses resolve; the faults that actually
     fired land in ``outcome.fired``.
 
+    ``telemetry`` attaches a :class:`~repro.telemetry.session.Telemetry`
+    session to the device (kernel/SM/multigpu metrics, runtime counters,
+    memory layout); ``gpu_overrides`` with ``devices > 1`` routes the run
+    through a multi-device launcher via :func:`repro.gpu.make_device`.
+
     Returns a :class:`ScheduleOutcome`; never raises for the failure modes
     the fuzzer hunts (oracle violations, watchdog trips, sanitizer
     reports).
@@ -171,7 +181,7 @@ def run_under_schedule(
             setattr(gpu_config, attr, value)
 
     workload = make_workload(workload_name, **params)
-    device = Device(gpu_config)
+    device = make_device(gpu_config, telemetry=telemetry)
     workload.setup(device)
 
     overrides = dict(stm_overrides or {})
@@ -231,6 +241,9 @@ def run_under_schedule(
             )
             outcome.cycles += kernel_result.cycles
             outcome.steps += kernel_result.steps
+            counters = outcome.counters
+            for name, value in kernel_result.counters.as_dict().items():
+                counters[name] = counters.get(name, 0) + value
             if kernel_result.schedule_trace is not None:
                 outcome.traces.append(kernel_result.schedule_trace.as_dict())
     except ProgressError as exc:
@@ -259,6 +272,10 @@ def run_under_schedule(
             outcome.detail = sanitizer.report().splitlines()[0]
     if injector is not None:
         outcome.fired = list(injector.fired)
+
+    if telemetry is not None:
+        runtime.publish_metrics(telemetry.registry)
+        telemetry.publish_memory(device.mem)
 
     outcome.commits = runtime.stats["commits"]
     outcome.aborts = runtime.stats["aborts"]

@@ -74,6 +74,18 @@ def build_parser():
         "--accounts", type=int, default=4096, metavar="N",
         help="ledger accounts (default: 4096)",
     )
+    parser.add_argument(
+        "--devices", type=int, default=1, metavar="N",
+        help="serve from an N-device topology: accounts shard across "
+        "devices by the home-device function and cross-device transfers "
+        "pay link costs (default: 1)",
+    )
+    parser.add_argument(
+        "--link", default=None, metavar="SPEC",
+        help="inter-device link model with --devices > 1: a preset "
+        "(nvlink, pcie), 'uniform:LAT' or 'switched:SAME,CROSS' "
+        "(default: nvlink-shaped)",
+    )
     service_group = parser.add_argument_group("batching and backpressure")
     service_group.add_argument(
         "--batch-size", type=int, default=None, metavar="N",
@@ -177,6 +189,14 @@ def main(argv=None):
         parser.error("--duration-cycles must be >= 1")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.devices < 1:
+        parser.error("--devices must be >= 1")
+
+    gpu_overrides = None
+    if args.devices > 1 or args.link is not None:
+        gpu_overrides = {"devices": args.devices}
+        if args.link is not None:
+            gpu_overrides["link_model"] = args.link
 
     service_overrides = {}
     for flag, field in (
@@ -222,7 +242,8 @@ def main(argv=None):
         variants, loads, skews=skews, arrival=args.arrival, seed=args.seed,
         duration_cycles=args.duration_cycles, num_accounts=args.accounts,
         clients=args.clients, think_mean=args.think_cycles,
-        service_overrides=service_overrides or None, jobs=args.jobs,
+        service_overrides=service_overrides or None,
+        gpu_overrides=gpu_overrides, jobs=args.jobs,
         supervise=supervise, journal=args.resume, metrics=registry,
         timeline_dir=timeline_dir, recorder=recorder,
     )

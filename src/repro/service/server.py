@@ -35,7 +35,7 @@ the sweep driver writes out.
 import time
 
 from repro.common.rng import Xorshift32, thread_seed
-from repro.gpu import Device
+from repro.gpu import make_device
 from repro.harness import configs
 from repro.service.admission import BoundedQueue, TokenBucket
 from repro.service.arrivals import make_arrivals
@@ -310,7 +310,7 @@ class LedgerService:
         self.service_config = service_config or ServiceConfig()
         self.telemetry = telemetry
         self.sampler = ZipfSampler(num_accounts, skew)
-        self.device = Device(gpu_config or configs.bench_gpu(), telemetry=telemetry)
+        self.device = make_device(gpu_config or configs.bench_gpu(), telemetry=telemetry)
         self.accounts = self.device.mem.alloc(
             num_accounts, ACCOUNTS_REGION, fill=initial_balance
         )

@@ -6,11 +6,14 @@ from repro.workloads.hashtable import HashTable
 from repro.workloads.kmeans import KMeans
 from repro.workloads.labyrinth import Labyrinth
 from repro.workloads.ledger import LedgerWorkload
+from repro.workloads.mg_ledger import MultiGpuLedger
 from repro.workloads.random_array import RandomArray
 
 #: name → workload class: the paper's six evaluation programs in
 #: presentation order, plus the service layer's ledger workload (``lg``,
-#: contended account transfers — see docs/service.md)
+#: contended account transfers — see docs/service.md) and its
+#: cross-device sibling (``mg``, sharded accounts + remote transfers —
+#: see docs/multigpu.md)
 WORKLOADS = {
     "ra": RandomArray,
     "ht": HashTable,
@@ -19,6 +22,7 @@ WORKLOADS = {
     "gn": Genome,
     "km": KMeans,
     "lg": LedgerWorkload,
+    "mg": MultiGpuLedger,
 }
 
 

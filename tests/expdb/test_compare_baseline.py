@@ -41,6 +41,7 @@ class TestCompareBaselineRecord:
             # the work hash (case roster + step counts) is machine-stable
             assert runs[0]["run_key"] == runs[1]["run_key"]
             cases = db.perf_cases()
-            assert len(cases) == 4
+            assert len(cases) == 5
+            assert "mg-2dev/optimized" in cases
             for case in cases:
                 assert len(db.perf_window(case, 10)) == 2
