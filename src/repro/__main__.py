@@ -16,6 +16,9 @@ _SUBCOMMANDS = (
     ("multigpu", "repro.multigpu.cli",
      "multi-device survival sweep: variant x remote-fraction x "
      "link-latency outcome maps"),
+    ("byz", "repro.faults.byzcampaign",
+     "byzantine-lane resilience campaign: adversarial behaviors x STM "
+     "variants, containment and detection-latency matrix"),
     ("db", "repro.expdb.cli",
      "query the experiment database: runs, diffs, perf trajectories"),
     ("reproduce", "repro.expdb.reproduce",

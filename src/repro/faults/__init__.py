@@ -25,10 +25,23 @@ Layers:
   reversible patches to any runtime instance.
 * :mod:`repro.faults.campaign` — the mutant x checker efficacy matrix,
   driven through :func:`repro.harness.parallel.run_jobs`.
+* :mod:`repro.faults.byzantine` — :class:`ByzantinePlan`, the adversarial
+  extension: designated lanes that *lie* (in validation, in published
+  metadata, in replayed versions) while the runtime stays correct.
+* :mod:`repro.faults.byzcampaign` — the behavior x variant resilience
+  matrix (containment, blast radius, detection latency); the
+  ``python -m repro byz`` driver.
 
 See ``docs/fault_injection.md`` for the full tour.
 """
 
+from repro.faults.byzantine import (
+    BYZ_BEHAVIORS,
+    ByzantineInjector,
+    ByzantinePlan,
+    ByzantineSpec,
+)
+from repro.faults.byzcampaign import render_byz_matrix, run_byz_campaign
 from repro.faults.campaign import run_campaign, render_matrix
 from repro.faults.ctx import InstrumentedThreadCtx
 from repro.faults.mutants import MUTANTS, Mutant, MutantRuntimeFactory
@@ -36,6 +49,10 @@ from repro.faults.plan import FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec
 from repro.faults.sanitizer import SanitizerViolation, StmSanitizer
 
 __all__ = [
+    "BYZ_BEHAVIORS",
+    "ByzantineInjector",
+    "ByzantinePlan",
+    "ByzantineSpec",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
@@ -46,6 +63,8 @@ __all__ = [
     "MutantRuntimeFactory",
     "SanitizerViolation",
     "StmSanitizer",
+    "render_byz_matrix",
     "render_matrix",
+    "run_byz_campaign",
     "run_campaign",
 ]

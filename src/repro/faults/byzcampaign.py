@@ -1,0 +1,547 @@
+"""Byzantine-lane resilience campaigns: containment and detection proof.
+
+Where :mod:`repro.faults.campaign` seeds *protocol* bugs (a broken
+runtime), a byzantine campaign seeds *adversarial lanes*: a
+:class:`~repro.faults.byzantine.ByzantinePlan` designates a few threads
+that lie in validation, publish torn lock metadata, replay stale
+versions after abort, hoard locks, or poison the global clock — while
+the runtime stays correct.  The question the matrix answers is not
+"does a checker catch the bug" but "what happens to everyone else":
+
+**contained**
+    the adversary acted (``fired > 0``) but every innocent lane stayed
+    oracle-clean — ``blast_radius == 0`` in the
+    :func:`~repro.stm.oracle.attribute_history` split, and any oracle
+    violation is attributed to the designated liars alone.
+**immune**
+    the variant gives the behavior no seam at all (``fired == 0``, clean
+    run) — e.g. ``lie_validation`` against CGL/EGPGV, which have no
+    validation phase to lie in.
+**detected**
+    the online :class:`~repro.faults.sanitizer.StmSanitizer` flagged the
+    run; the cell carries the **detection latency** — simulated cycles
+    from the adversary's first action to the first sanitizer violation.
+**escaped**
+    none of the above: innocents were corrupted (or the run hung) with
+    no sanitizer evidence.  Escapees are listed by name in the matrix
+    and make the campaign exit non-zero.
+
+Alongside the armed cells, every variant runs once *disarmed* under the
+sanitizer: the matrix is only ``ok`` when no cell escaped **and** every
+baseline stayed clean, so detection cannot "win" by flagging everything.
+
+Jobs fan out through :func:`repro.harness.parallel.run_jobs` — the same
+supervised pool, checkpoint journal, and experiment-database recorder
+the efficacy campaign uses — so ``python -m repro byz`` supports
+``--jobs``/``--retries``/``--timeout``/``--resume``/``--expdb``.  With
+``--devices N`` the whole campaign runs on a multi-device topology and
+the byzantine lanes are pinned to ``--byz-device`` (default: the last
+device), modelling a hostile *remote* accelerator.
+"""
+
+from repro.faults.byzantine import BYZ_BEHAVIORS, ByzantinePlan
+from repro.harness.parallel import run_jobs
+from repro.stm import EXTENSION_VARIANTS, STM_VARIANTS
+
+#: every runtime the campaign covers by default: the paper's seven plus
+#: the extension variants, like the mutant-efficacy campaign
+ALL_VARIANTS = STM_VARIANTS + EXTENSION_VARIANTS
+
+#: watchdog budget per cell: adversaries that destroy progress (hoarded
+#: locks) should trip fast, not burn the explorer's default budget
+MAX_STEPS = 400_000
+
+CLASSIFICATIONS = ("immune", "contained", "detected", "escaped", "error")
+
+
+def device_lane_tids(grid, block, device, devices, num_sms):
+    """Lane-0 tids of every launch block homed on ``device``.
+
+    Mirrors the multi-device launcher's round-robin block placement
+    (:mod:`repro.multigpu.device`): block ``i`` runs on device
+    ``(i % (devices * num_sms)) // num_sms``.  Used to pin the byzantine
+    lanes to one (remote) accelerator.
+    """
+    total_sms = devices * num_sms
+    return tuple(
+        index * block
+        for index in range(grid)
+        if (index % total_sms) // num_sms == device
+    )
+
+
+def default_spec_text(behavior, block, *, tids=None):
+    """CLI spec for one behavior: explicit ``tids`` or one lane per block."""
+    if tids is not None:
+        if not tids:
+            raise ValueError("no byzantine lanes land on the chosen device; "
+                             "raise --grid or pick another --byz-device")
+        return "%s:tids=%s" % (behavior, "+".join(str(t) for t in tids))
+    return "%s:stride=%d,offset=0" % (behavior, block)
+
+
+class ByzJob:
+    """One (behavior-or-baseline, variant) campaign cell.
+
+    Plain picklable data — instances cross the process-pool boundary of
+    :func:`repro.harness.parallel.run_jobs`, and ``__slots__`` is the
+    journal fingerprint.  ``behavior`` is ``None`` for a disarmed
+    baseline; ``spec_text`` then stays empty.
+    """
+
+    __slots__ = ("behavior", "variant", "workload", "params", "spec_text",
+                 "devices", "link_latency", "num_locks")
+
+    def __init__(self, behavior, variant, workload, params, spec_text,
+                 devices=1, link_latency=40, num_locks=16):
+        self.behavior = behavior
+        self.variant = variant
+        self.workload = workload
+        self.params = dict(params)
+        self.spec_text = spec_text
+        self.devices = devices
+        self.link_latency = link_latency
+        self.num_locks = num_locks
+
+    def __repr__(self):
+        return "ByzJob(%s/%s on %s)" % (
+            self.behavior or "baseline", self.variant, self.workload,
+        )
+
+
+def execute_byz_job(job):
+    """Run one byzantine cell; returns a plain result dict, never raises.
+
+    An unexpected exception lands as ``classification="error"`` with
+    ``error`` set — an error cell counts as an escapee, so a crashed
+    worker cannot silently read as "contained".
+    """
+    # imported here, not at module top: repro.faults must stay importable
+    # without dragging in the whole scheduling/workload stack
+    from repro.sched.explore import run_under_schedule
+
+    result = {
+        "behavior": job.behavior,
+        "variant": job.variant,
+        "workload": job.workload,
+        "spec": job.spec_text,
+        "devices": job.devices,
+        "classification": None,
+        "detected_by": None,
+        "detection_latency": None,
+        "blast_radius": None,
+        "fired": 0,
+        "first_fired_cycle": None,
+        "failure": None,
+        "detail": None,
+        "checks": [],
+        "attribution": None,
+        "error": None,
+    }
+    plan = ByzantinePlan([job.spec_text]) if job.spec_text else None
+    gpu_overrides = dict(max_steps=MAX_STEPS)
+    if job.devices > 1:
+        gpu_overrides["devices"] = job.devices
+        gpu_overrides["link_model"] = "uniform:%d" % job.link_latency
+    try:
+        outcome = run_under_schedule(
+            job.workload,
+            job.params,
+            job.variant,
+            policy="rr",
+            num_locks=job.num_locks,
+            sanitize=True,
+            fault_plan=plan,
+            exit_checks_on_failure=plan is not None,
+            gpu_overrides=gpu_overrides,
+        )
+    except Exception as exc:  # noqa: BLE001 - worker must never raise
+        result["error"] = "%s: %s" % (type(exc).__name__, exc)
+        result["classification"] = "error"
+        return result
+
+    result["fired"] = len(outcome.fired)
+    if outcome.fired:
+        result["first_fired_cycle"] = outcome.fired[0]["cycle"]
+    result["failure"] = outcome.failure
+    if outcome.detail:
+        result["detail"] = outcome.detail.splitlines()[0]
+    result["checks"] = sorted(outcome.first_violations)
+    result["attribution"] = outcome.attribution
+    if outcome.attribution is not None:
+        result["blast_radius"] = outcome.attribution["blast_radius"]
+    if outcome.first_violations:
+        first_check = min(
+            outcome.first_violations, key=lambda c: outcome.first_violations[c]
+        )
+        result["detected_by"] = first_check
+        latency = outcome.first_violations[first_check]
+        if result["first_fired_cycle"] is not None:
+            latency -= result["first_fired_cycle"]
+        result["detection_latency"] = max(0, latency)
+    result["classification"] = _classify(job, result)
+    return result
+
+
+def _classify(job, result):
+    """Fold one cell's evidence into a :data:`CLASSIFICATIONS` verdict."""
+    if job.behavior is None:
+        # baseline: any evidence at all is a false positive
+        clean = (result["failure"] is None and not result["checks"]
+                 and not result["fired"])
+        return "contained" if clean else "escaped"
+    if result["checks"]:
+        return "detected"
+    if result["fired"] == 0:
+        return "immune" if result["failure"] is None else "escaped"
+    blast = result["blast_radius"]
+    if blast == 0 and result["failure"] in (None, "serializability"):
+        # the oracle pinned every violation on the designated liars;
+        # innocent lanes committed a serializable history
+        return "contained"
+    return "escaped"
+
+
+def _byz_jobs(behaviors, variants, workload, params, devices, link_latency,
+              byz_device, num_sms, num_locks):
+    block = params["block"]
+    tids = None
+    if devices > 1:
+        tids = device_lane_tids(
+            params["grid"], block, byz_device, devices, num_sms
+        )
+    jobs = []
+    for behavior in behaviors:
+        spec = default_spec_text(behavior, block, tids=tids)
+        for variant in variants:
+            jobs.append(ByzJob(behavior, variant, workload, params, spec,
+                               devices=devices, link_latency=link_latency,
+                               num_locks=num_locks))
+    for variant in variants:
+        jobs.append(ByzJob(None, variant, workload, params, "",
+                           devices=devices, link_latency=link_latency,
+                           num_locks=num_locks))
+    return jobs
+
+
+def run_byz_campaign(
+    behaviors=None,
+    variants=None,
+    workload="cns",
+    params=None,
+    jobs=1,
+    devices=1,
+    link_latency=40,
+    byz_device=None,
+    num_sms=2,
+    num_locks=16,
+    supervise=None,
+    journal=None,
+    metrics=None,
+    recorder=None,
+):
+    """Run the behavior x variant campaign; returns the resilience matrix.
+
+    ``behaviors`` defaults to the full vocabulary
+    (:data:`~repro.faults.byzantine.BYZ_BEHAVIORS`), ``variants`` to
+    every registered runtime, ``params`` to the workload's unit-test
+    geometry.  ``supervise``/``journal``/``metrics``/``recorder`` route
+    the cells through the supervised pool exactly like the mutant
+    campaign; results are bit-identical across ``jobs`` widths and
+    journal resume because :func:`~repro.harness.parallel.run_jobs`
+    preserves spec order.
+
+    The matrix's ``ok`` is True iff no armed cell escaped and every
+    disarmed baseline stayed clean; ``escapees`` names the offenders.
+    """
+    behaviors = list(behaviors) if behaviors is not None else list(BYZ_BEHAVIORS)
+    unknown = [b for b in behaviors if b not in BYZ_BEHAVIORS]
+    if unknown:
+        raise ValueError(
+            "unknown behavior(s) %s; vocabulary: %s"
+            % (", ".join(unknown), ", ".join(BYZ_BEHAVIORS))
+        )
+    variants = list(variants) if variants is not None else list(ALL_VARIANTS)
+    unknown = [v for v in variants if v not in ALL_VARIANTS]
+    if unknown:
+        raise ValueError(
+            "unknown variant(s) %s; available: %s"
+            % (", ".join(unknown), ", ".join(ALL_VARIANTS))
+        )
+    if params is None:
+        from repro.harness.configs import test_workload_params
+
+        params = test_workload_params(workload)
+    if byz_device is None:
+        byz_device = devices - 1
+    if devices > 1 and not 0 <= byz_device < devices:
+        raise ValueError("byz_device %d outside topology of %d device(s)"
+                         % (byz_device, devices))
+
+    specs = _byz_jobs(behaviors, variants, workload, params, devices,
+                      link_latency, byz_device, num_sms, num_locks)
+    results = run_jobs(
+        specs, jobs=jobs, executor=execute_byz_job,
+        supervise=supervise, journal=journal, metrics=metrics,
+        recorder=recorder,
+    )
+
+    matrix = {
+        "workload": workload,
+        "behaviors": behaviors,
+        "variants": variants,
+        "devices": devices,
+        "byz_device": byz_device if devices > 1 else None,
+        "cells": {behavior: {} for behavior in behaviors},
+        "baselines": {},
+        "escapees": [],
+        "ok": True,
+    }
+    for spec, result in zip(specs, results):
+        if not isinstance(result, dict):
+            # a supervised campaign can yield a structured JobResult
+            # failure (wall timeout, lost worker) in place of the
+            # executor's dict; fold it in as an error cell so it lands
+            # in ``escapees`` instead of vanishing into the pool
+            brief = getattr(result, "brief_error", None)
+            detail = brief() if brief is not None else repr(result)
+            result = {
+                "behavior": spec.behavior,
+                "variant": spec.variant,
+                "classification": "error",
+                "error": detail,
+                "detail": detail,
+            }
+        if spec.behavior is None:
+            matrix["baselines"][spec.variant] = result
+            if result["classification"] != "contained":
+                matrix["ok"] = False
+                matrix["escapees"].append("baseline/%s" % spec.variant)
+        else:
+            matrix["cells"][spec.behavior][spec.variant] = result
+            if result["classification"] in ("escaped", "error"):
+                matrix["ok"] = False
+                matrix["escapees"].append(
+                    "%s/%s" % (spec.behavior, spec.variant)
+                )
+    return matrix
+
+
+_CELL_MARK = {
+    "immune": "immune",
+    "contained": "contain",
+    "detected": "detect",
+    "escaped": "ESCAPED",
+    "error": "ERROR",
+}
+
+
+def render_byz_matrix(matrix):
+    """Human-readable behavior x variant table with latency annotations."""
+    variants = matrix["variants"]
+    name_width = max([len("behavior")] + [len(b) for b in matrix["behaviors"]])
+    col = max([9] + [len(v) + 1 for v in variants])
+    header = "%-*s  %s" % (
+        name_width, "behavior", "".join("%-*s" % (col, v) for v in variants),
+    )
+    lines = [header, "-" * len(header)]
+    for behavior in matrix["behaviors"]:
+        row = matrix["cells"][behavior]
+        cells = []
+        for variant in variants:
+            cell = row.get(variant)
+            mark = _CELL_MARK.get(cell["classification"], "?") if cell else "-"
+            cells.append("%-*s" % (col, mark))
+        lines.append("%-*s  %s" % (name_width, behavior, "".join(cells)))
+    detected = [
+        (behavior, variant, cell)
+        for behavior in matrix["behaviors"]
+        for variant, cell in sorted(matrix["cells"][behavior].items())
+        if cell["classification"] == "detected"
+    ]
+    if detected:
+        lines.append("")
+        lines.append("detection latency (cycles from first lie to first "
+                     "sanitizer violation):")
+        for behavior, variant, cell in detected:
+            lines.append(
+                "  %s/%s: %s after %s cycle(s)"
+                % (behavior, variant, cell["detected_by"],
+                   cell["detection_latency"])
+            )
+    clean = [v for v, cell in sorted(matrix["baselines"].items())
+             if cell["classification"] == "contained"]
+    if clean:
+        lines.append("baselines clean: %s" % ", ".join(clean))
+    if matrix["escapees"]:
+        lines.append("ESCAPEES: %s" % ", ".join(matrix["escapees"]))
+    lines.append("matrix ok: %s" % ("yes" if matrix["ok"] else "NO"))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro byz
+# ----------------------------------------------------------------------
+
+def build_parser():
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro byz",
+        description="Run the byzantine-lane resilience campaign: every "
+        "adversarial behavior against every STM variant, classified as "
+        "immune / contained / detected / escaped against the "
+        "serialization oracle and the online sanitizer (see "
+        "docs/fault_injection.md).",
+    )
+    parser.add_argument(
+        "--behaviors", default="all", metavar="NAMES",
+        help="comma-separated byzantine behaviors, or 'all' (default: %s)"
+        % ",".join(BYZ_BEHAVIORS),
+    )
+    parser.add_argument(
+        "--variants", default="all", metavar="NAMES",
+        help="comma-separated STM variants, or 'all' (default: all)",
+    )
+    parser.add_argument(
+        "--workload", default="cns", metavar="NAME",
+        help="workload under attack (default: cns — consensus objects)",
+    )
+    parser.add_argument(
+        "--devices", type=int, default=1, metavar="N",
+        help="multi-device topology size; > 1 pins the byzantine lanes "
+        "to --byz-device (default: 1, single device)",
+    )
+    parser.add_argument(
+        "--byz-device", type=int, default=None, metavar="D",
+        help="device hosting the byzantine lanes (default: the last one)",
+    )
+    parser.add_argument(
+        "--link", type=int, default=40, metavar="CYCLES",
+        help="inter-device link latency in cycles (default: 40)",
+    )
+    pool_group = parser.add_argument_group("execution")
+    pool_group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the campaign (default: 1)",
+    )
+    pool_group.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry transient cell failures up to N times with backoff",
+    )
+    pool_group.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock timeout (needs --jobs > 1)",
+    )
+    pool_group.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="checkpoint journal: completed cells are recorded at PATH "
+        "and served back bit-identically on re-run",
+    )
+    artifact_group = parser.add_argument_group("artifacts")
+    artifact_group.add_argument(
+        "--out", default="byz-artifacts", metavar="DIR",
+        help="artifact directory (default: byz-artifacts)",
+    )
+    artifact_group.add_argument(
+        "--metrics", action="store_true",
+        help="also write the merged telemetry registry to DIR/metrics.json",
+    )
+    artifact_group.add_argument(
+        "--expdb", default=None, metavar="PATH",
+        help="record the campaign (fingerprints, metrics, artifact "
+        "hashes) in the experiment database at PATH ('default' for "
+        "$REPRO_EXPDB or expdb/experiments.sqlite)",
+    )
+    return parser
+
+
+def _csv_or_all(text, universe, flag, parser):
+    if text.strip() == "all":
+        return list(universe)
+    names = [part.strip() for part in text.split(",") if part.strip()]
+    if not names:
+        parser.error("%s expects at least one name" % flag)
+    for name in names:
+        if name not in universe:
+            parser.error("unknown %s %r; expected one of %s or 'all'"
+                         % (flag.lstrip("-").rstrip("s"), name,
+                            ", ".join(universe)))
+    return names
+
+
+def main(argv=None):
+    import os
+    import time
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    behaviors = _csv_or_all(args.behaviors, BYZ_BEHAVIORS, "--behaviors",
+                            parser)
+    variants = _csv_or_all(args.variants, ALL_VARIANTS, "--variants", parser)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.devices < 1:
+        parser.error("--devices must be >= 1")
+    if args.link < 0:
+        parser.error("--link must be >= 0")
+
+    supervise = None
+    if args.retries is not None or args.timeout is not None:
+        from repro.harness.supervisor import SupervisorConfig
+
+        supervise = SupervisorConfig()
+        if args.retries is not None:
+            supervise.max_retries = args.retries
+        if args.timeout is not None:
+            supervise.wall_timeout = args.timeout
+
+    registry = None
+    if args.metrics:
+        from repro.telemetry import MetricRegistry
+
+        registry = MetricRegistry()
+
+    recorder = None
+    if args.expdb:
+        from repro.expdb import SweepRecorder, default_db_path
+
+        db_path = default_db_path() if args.expdb == "default" else args.expdb
+        recorder = SweepRecorder(
+            db_path, "byz-campaign",
+            summary={"workload": args.workload, "devices": args.devices},
+        )
+
+    started = time.time()
+    matrix = run_byz_campaign(
+        behaviors=behaviors, variants=variants, workload=args.workload,
+        jobs=args.jobs, devices=args.devices, link_latency=args.link,
+        byz_device=args.byz_device, supervise=supervise,
+        journal=args.resume, metrics=registry, recorder=recorder,
+    )
+    print(render_byz_matrix(matrix))
+
+    from repro.common.fsio import atomic_write_json
+
+    os.makedirs(args.out, exist_ok=True)
+    matrix_path = os.path.join(args.out, "byz_matrix.json")
+    atomic_write_json(matrix_path, matrix)
+    print("[matrix -> %s]" % matrix_path)
+    if registry is not None:
+        metrics_path = os.path.join(args.out, "metrics.json")
+        registry.write_json(metrics_path)
+        print("[metrics -> %s]" % metrics_path)
+    if recorder is not None and recorder.run_id is not None:
+        recorder.add_artifacts([matrix_path])
+        print("[expdb run %d (%s)]"
+              % (recorder.run_id, recorder.run_key[:12]))
+    print("[byz %d behavior(s) x %d variant(s) in %.1fs, jobs=%d]"
+          % (len(behaviors), len(variants), time.time() - started,
+             args.jobs))
+    return 0 if matrix["ok"] else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

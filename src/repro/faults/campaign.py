@@ -267,9 +267,13 @@ def run_campaign(
             cell[spec.checker] = result
             if result["detected"] and not result["error"]:
                 entry["detected"] = True
-    for entry in matrix["mutants"].values():
-        if not entry["detected"]:
-            matrix["ok"] = False
+    # escapees: mutants no checker caught, named explicitly in the JSON
+    # artifact so a red campaign says *which* bug got away, not just "NO"
+    matrix["escapees"] = [
+        name for name in names if not matrix["mutants"][name]["detected"]
+    ]
+    if matrix["escapees"]:
+        matrix["ok"] = False
     return matrix
 
 
@@ -322,5 +326,7 @@ def render_matrix(matrix):
         lines.append(
             "baseline FALSE POSITIVE on %s: %s" % (variant, "; ".join(flagged))
         )
+    if matrix.get("escapees"):
+        lines.append("ESCAPEES: %s" % ", ".join(matrix["escapees"]))
     lines.append("matrix ok: %s" % ("yes" if matrix["ok"] else "NO"))
     return "\n".join(lines)

@@ -64,9 +64,11 @@ class InstrumentedThreadCtx(ThreadCtx):
         self._account(OpKind.WRITE, addr, phase, self._mem_latency)
         sanitizer = self._sanitizer
         if sanitizer is not None:
+            sanitizer.now = self.cycles_total
             sanitizer.on_write(self.tid, addr, value, phase)
         injector = self._injector
         if injector is not None:
+            injector.now = self.cycles_total
             value = injector.filter_write(self.tid, addr, value, self._words[addr])
             if value is DROPPED:
                 return
@@ -81,9 +83,11 @@ class InstrumentedThreadCtx(ThreadCtx):
         self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
         sanitizer = self._sanitizer
         if sanitizer is not None:
+            sanitizer.now = self.cycles_total
             sanitizer.on_atomic(self.tid, addr, phase)
         injector = self._injector
         if injector is not None:
+            injector.now = self.cycles_total
             old = self._words[addr]
             faked = injector.intercept_cas(self.tid, addr, old, expected, new)
             if faked is not None:
@@ -96,9 +100,11 @@ class InstrumentedThreadCtx(ThreadCtx):
         self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
         sanitizer = self._sanitizer
         if sanitizer is not None:
+            sanitizer.now = self.cycles_total
             sanitizer.on_atomic(self.tid, addr, phase)
         injector = self._injector
         if injector is not None:
+            injector.now = self.cycles_total
             old = self._words[addr]
             faked = injector.intercept_or(self.tid, addr, old, value)
             if faked is not None:
@@ -112,9 +118,11 @@ class InstrumentedThreadCtx(ThreadCtx):
         self._account(OpKind.ATOMIC, addr, phase, self._atomic_latency)
         sanitizer = self._sanitizer
         if sanitizer is not None:
+            sanitizer.now = self.cycles_total
             sanitizer.on_atomic(self.tid, addr, phase)
         injector = self._injector
         if injector is not None:
+            injector.now = self.cycles_total
             old = self._words[addr]
             faked = injector.intercept_add(self.tid, addr, old, value)
             if faked is not None:
@@ -149,22 +157,32 @@ class InstrumentedThreadCtx(ThreadCtx):
         ThreadCtx.fence(self, phase)
         sanitizer = self._sanitizer
         if sanitizer is not None:
+            sanitizer.now = self.cycles_total
             sanitizer.on_fence(self.tid, phase)
 
     def tx_window_begin(self):
         ThreadCtx.tx_window_begin(self)
         sanitizer = self._sanitizer
         if sanitizer is not None:
+            sanitizer.now = self.cycles_total
             sanitizer.on_tx_window(self.tid, "begin")
 
     def tx_window_commit(self):
         ThreadCtx.tx_window_commit(self)
         sanitizer = self._sanitizer
         if sanitizer is not None:
+            sanitizer.now = self.cycles_total
             sanitizer.on_tx_window(self.tid, "commit")
 
     def tx_window_abort(self):
         ThreadCtx.tx_window_abort(self)
         sanitizer = self._sanitizer
         if sanitizer is not None:
+            sanitizer.now = self.cycles_total
             sanitizer.on_tx_window(self.tid, "abort")
+        injector = self._injector
+        if injector is not None:
+            # byzantine lanes may replay their stale write-buffer from the
+            # abort window (crash/protocol injectors no-op here)
+            injector.now = self.cycles_total
+            injector.on_tx_abort(self)

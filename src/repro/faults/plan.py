@@ -110,10 +110,20 @@ class FaultSpec:
                 value = value.strip()
                 if key not in cls.__slots__ or key == "kind":
                     raise ValueError("unknown fault option %r in %r" % (key, text))
+                if key in kwargs:
+                    raise ValueError(
+                        "duplicate fault option %r in %r" % (key, text)
+                    )
                 if key == "region":
                     kwargs[key] = value
                 else:
-                    kwargs[key] = int(value, 0)
+                    try:
+                        kwargs[key] = int(value, 0)
+                    except ValueError:
+                        raise ValueError(
+                            "fault option %s=%s in %r is not an integer"
+                            % (key, value, text)
+                        )
         return cls(kind.strip(), **kwargs)
 
     def as_dict(self):
@@ -210,6 +220,9 @@ class FaultInjector:
         self._stalls = []
         #: chronological log of fired faults (dicts; test/CLI evidence)
         self.fired = []
+        #: simulated-cycle witness of the issuing lane, kept current by
+        #: the instrumented context (detection-latency zero point)
+        self.now = 0
         for spec in specs:
             ranges = self._resolve(spec, mem)
             armed = _Armed(spec, ranges)
@@ -394,6 +407,18 @@ class FaultInjector:
                                  warps[redirect].warp_id))
                     return redirect
         return index
+
+    # ------------------------------------------------------------------
+    # Byzantine seams (no-ops here; ByzantineInjector overrides)
+    # ------------------------------------------------------------------
+    def filter_validation(self, tx, stage, verdict):
+        """Validation seam consulted by ``TxThread._filter_validation``;
+        crash/protocol faults never lie about verdicts."""
+        return verdict
+
+    def on_tx_abort(self, ctx):
+        """Abort-window seam raised by ``InstrumentedThreadCtx``."""
+        return None
 
     # ------------------------------------------------------------------
     # Reporting

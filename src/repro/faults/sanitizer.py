@@ -30,6 +30,11 @@ Checks (the ``check`` field of each violation):
 ``read_own_write``
     a write-buffering transaction performed a *real* global read of an
     address in its own write set instead of serving the buffered value.
+``torn_version``
+    a LOCKS-phase store published impossible metadata: an unlocked
+    version-lock word naming a version beyond the global clock, a VBV
+    sequence-lock release that is not ``current + 1``, or a nonzero CGL
+    release (the byzantine ``torn_publish`` signature).
 
 Each check is calibrated against all eight unmutated runtimes (the
 no-false-positive test in ``tests/faults``): CGL's in-place NATIVE data
@@ -50,19 +55,25 @@ CHECKS = (
     "unlocked_write",
     "missing_fence",
     "read_own_write",
+    "torn_version",
 )
 
 
 class SanitizerViolation:
-    """One detected invariant violation (structured, JSON-friendly)."""
+    """One detected invariant violation (structured, JSON-friendly).
 
-    __slots__ = ("check", "tid", "addr", "detail")
+    ``cycle`` is the issuing lane's simulated-cycle witness at detection
+    time (the ``now`` the instrumented context keeps current); exit-sweep
+    violations carry the last witnessed cycle."""
 
-    def __init__(self, check, tid, addr, detail):
+    __slots__ = ("check", "tid", "addr", "detail", "cycle")
+
+    def __init__(self, check, tid, addr, detail, cycle=0):
         self.check = check
         self.tid = tid
         self.addr = addr
         self.detail = detail
+        self.cycle = cycle
 
     def as_dict(self):
         return {
@@ -70,6 +81,7 @@ class SanitizerViolation:
             "tid": self.tid,
             "addr": self.addr,
             "detail": self.detail,
+            "cycle": self.cycle,
         }
 
     def __repr__(self):
@@ -94,11 +106,16 @@ class StmSanitizer:
         self._seq_addr = None
         self._cgl_lock_addr = None
         self._count_all_commits = False
+        self._mutex_locks = False
         # online state
         self._writer_commits = 0
         self._total_commits = 0
         self._versions_seen = set()
         self._pending_fence = set()
+        #: simulated-cycle witness (set by the instrumented context)
+        self.now = 0
+        #: check name -> cycle of its first violation (detection latency)
+        self.first_violations = {}
 
     # ------------------------------------------------------------------
     # Binding
@@ -122,6 +139,10 @@ class StmSanitizer:
         self._cgl_lock_addr = getattr(runtime, "lock_addr", None)
         # EGPGV ticks the clock on every commit, read-only included
         self._count_all_commits = runtime.name == "egpgv"
+        # EGPGV locks are 0/1 mutexes: *any* nonzero word at exit is a
+        # leak, not just an odd one (a torn release can park a large
+        # even value that the version-lock parity rule would miss)
+        self._mutex_locks = runtime.name == "egpgv"
         return self
 
     def _is_metadata(self, addr):
@@ -138,10 +159,19 @@ class StmSanitizer:
         if registry is not None:
             registry.counter("sanitizer.violations").add()
             registry.counter("sanitizer.%s" % check).add()
+        if check not in self.first_violations:
+            self.first_violations[check] = self.now
+            if registry is not None:
+                # merged with min() across workers (MIN_GAUGE_PREFIXES)
+                registry.gauge("sanitizer.first_violation.%s" % check).set(
+                    self.now
+                )
         if len(self.violations) >= self.max_violations:
             self.dropped += 1
             return
-        self.violations.append(SanitizerViolation(check, tid, addr, detail))
+        self.violations.append(
+            SanitizerViolation(check, tid, addr, detail, cycle=self.now)
+        )
 
     @property
     def ok(self):
@@ -165,6 +195,7 @@ class StmSanitizer:
     # TxTracer-protocol events (fed by TmRuntime.note_commit/note_abort)
     # ------------------------------------------------------------------
     def on_commit(self, tx, version):
+        self.now = tx.tc.cycles_total
         self._total_commits += 1
         writer = False
         for _ in tx.write_entries():
@@ -192,6 +223,9 @@ class StmSanitizer:
     # Per-operation probes (fed by InstrumentedThreadCtx)
     # ------------------------------------------------------------------
     def on_write(self, tid, addr, value, phase):
+        if phase is Phase.LOCKS:
+            self._check_metadata_publish(tid, addr, value)
+            return
         if phase is not Phase.COMMIT:
             return
         if tid in self._pending_fence:
@@ -219,6 +253,48 @@ class StmSanitizer:
                     "writeback while the sequence lock is even (unheld)",
                 )
 
+    def _check_metadata_publish(self, tid, addr, value):
+        """``torn_version``: a LOCKS-phase store publishing impossible
+        metadata.  Calibrated against every legitimate release path:
+
+        * version-lock releases either restore the pre-acquisition word
+          or publish ``version << 1`` with ``version <= clock`` (the
+          clock was incremented first), so an *unlocked* word whose
+          version exceeds the global clock names a commit that never
+          happened;
+        * the only VBV sequence-lock store is the release
+          ``snapshot + 2`` over the held (odd) ``snapshot + 1``, i.e.
+          exactly ``current + 1``;
+        * CGL/EGPGV mutex releases store exactly 0.
+        """
+        table = self._lock_table
+        if table is not None and table.base <= addr < table.base + table.num_locks:
+            if value & 1:
+                return
+            clock_addr = self._clock_addr
+            version = value >> 1
+            if clock_addr is not None and version > self._mem.words[clock_addr]:
+                self._violate(
+                    "torn_version", tid, addr,
+                    "lock release published version %d beyond the global "
+                    "clock (%d)" % (version, self._mem.words[clock_addr]),
+                )
+            return
+        if addr == self._seq_addr:
+            current = self._mem.words[addr]
+            if value != current + 1:
+                self._violate(
+                    "torn_version", tid, addr,
+                    "sequence-lock store of %d over %d (release must "
+                    "publish current + 1)" % (value, current),
+                )
+            return
+        if addr == self._cgl_lock_addr and value != 0:
+            self._violate(
+                "torn_version", tid, addr,
+                "coarse-grain lock release stored %d (must store 0)" % value,
+            )
+
     def on_atomic(self, tid, addr, phase):
         if phase is Phase.LOCKS:
             self._pending_fence.add(tid)
@@ -235,6 +311,7 @@ class StmSanitizer:
     # tx_read probe (raised by TxThread._note_real_read)
     # ------------------------------------------------------------------
     def on_tx_read(self, tx, addr):
+        self.now = tx.tc.cycles_total
         writes = getattr(tx, "writes", None)
         if writes is not None and addr in writes:
             self._violate(
@@ -251,10 +328,12 @@ class StmSanitizer:
         mem = self._mem
         table = self._lock_table
         if table is not None:
+            mutex = self._mutex_locks
             leaked = [
                 index
                 for index in range(table.num_locks)
                 if mem.words[table.base + index] & 1
+                or (mutex and mem.words[table.base + index])
             ]
             if leaked:
                 shown = ", ".join(str(i) for i in leaked[:8])

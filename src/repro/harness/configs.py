@@ -80,6 +80,10 @@ def bench_workload_params(name):
         # cross-device destinations by default
         return dict(num_accounts=16384, grid=16, block=32, txs_per_thread=2,
                     skew=0.6, remote_frac=0.3)
+    if name == "cns":
+        # few hot decision words under many proposers: the byzantine
+        # containment workload (arXiv 2503.12788 geometry, scaled)
+        return dict(objects=16, grid=16, block=32)
     raise ValueError("no benchmark parameters for workload %r" % name)
 
 
@@ -108,6 +112,8 @@ def test_workload_params(name):
         # per device), so both devices execute blocks
         return dict(num_accounts=256, grid=4, block=16, txs_per_thread=2,
                     skew=0.6, remote_frac=0.3)
+    if name == "cns":
+        return dict(objects=4, grid=2, block=16)
     raise ValueError("no test parameters for workload %r" % name)
 
 

@@ -76,6 +76,8 @@ class ScheduleOutcome:
         "fired",
         "livelock",
         "counters",
+        "first_violations",
+        "attribution",
     )
 
     def __init__(self, workload, variant, policy):
@@ -99,6 +101,10 @@ class ScheduleOutcome:
         # merged per-launch operation counters (plain dict, picklable);
         # multi-device runs carry their mg.* traffic totals here
         self.counters = {}
+        # sanitizer check name -> simulated cycle of its first violation
+        self.first_violations = {}
+        # byzantine runs: oracle attribution dict (blast radius split)
+        self.attribution = None
 
     @property
     def ok(self):
@@ -141,6 +147,7 @@ def run_under_schedule(
     sanitize=False,
     fault_plan=None,
     telemetry=None,
+    exit_checks_on_failure=False,
 ):
     """Execute ``workload_name`` under ``variant`` with a given schedule.
 
@@ -162,7 +169,16 @@ def run_under_schedule(
     ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan` or an iterable
     of spec strings) is armed on the device after workload setup, so
     region-relative fault addresses resolve; the faults that actually
-    fired land in ``outcome.fired``.
+    fired land in ``outcome.fired``.  A byzantine plan
+    (:class:`~repro.faults.byzantine.ByzantinePlan`) additionally yields
+    ``outcome.attribution`` — the oracle's blast-radius split between
+    byzantine and innocent lanes — when the run completes.
+
+    ``exit_checks_on_failure=True`` runs the sanitizer's kernel-exit
+    sweep even after a watchdog trip.  The default skips it because a
+    progress failure leaves locks legitimately mid-flight; byzantine
+    campaigns opt in so a hoarded lock is *detected* (``lock_leak``)
+    rather than hidden behind the hang it caused.
 
     ``telemetry`` attaches a :class:`~repro.telemetry.session.Telemetry`
     session to the device (kernel/SM/multigpu metrics, runtime counters,
@@ -254,19 +270,34 @@ def run_under_schedule(
         partial = getattr(exc, "schedule_trace", None)
         if partial is not None:
             outcome.traces.append(partial.as_dict())
+        if sanitizer is not None and exit_checks_on_failure:
+            sanitizer.check_kernel_exit()
     else:
         try:
             outcome.checked = check_history(runtime.history, initial, device.mem)
         except SerializabilityViolation as exc:
             outcome.failure = "serializability"
             outcome.detail = str(exc)
+        if injector is not None and hasattr(injector, "byz_addrs"):
+            # byzantine run: split oracle violations between the
+            # designated liars and the innocent majority (blast radius)
+            from repro.stm.oracle import attribute_history
+
+            total_threads = sum(spec.grid * spec.block for spec in specs)
+            outcome.attribution = attribute_history(
+                runtime.history, initial, device.mem,
+                byz_tids=injector.byz_tids(total_threads),
+                byz_addrs=injector.byz_addrs,
+            )
         if sanitizer is not None:
             # exit-state invariants only make sense after a completed run;
-            # a watchdog trip leaves locks legitimately mid-flight
+            # a watchdog trip leaves locks legitimately mid-flight (see
+            # ``exit_checks_on_failure`` for the byzantine exception)
             sanitizer.check_kernel_exit()
 
     if sanitizer is not None:
         outcome.violations = [v.as_dict() for v in sanitizer.violations]
+        outcome.first_violations = dict(sanitizer.first_violations)
         if outcome.failure is None and not sanitizer.ok:
             outcome.failure = "sanitizer"
             outcome.detail = sanitizer.report().splitlines()[0]

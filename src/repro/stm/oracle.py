@@ -70,6 +70,90 @@ def check_history(history, initial_words, final_mem):
     return len(history)
 
 
+def attribute_history(history, initial_words, final_mem, byz_tids=(),
+                      byz_addrs=(), max_examples=8):
+    """Non-raising :func:`check_history` variant with byzantine attribution.
+
+    Replays the history exactly like :func:`check_history` but classifies
+    every violation by culprit: a read violation belongs to the
+    transaction that recorded it (byzantine when ``record.tid`` is in
+    ``byz_tids``); a final-state divergence belongs to the adversary when
+    the last replayed writer of the address is byzantine or the address
+    appears in ``byz_addrs`` (out-of-transaction byzantine stores, e.g.
+    stale replays), and to the innocents otherwise.
+
+    Returns a dict with the split counts; ``blast_radius`` — the number
+    of *innocent* transactions corrupted plus unexplained final
+    divergences — is the campaign's containment metric (0 == contained).
+    Ties between duplicate versions (a poisoned clock) replay in tid
+    order so the attribution itself is deterministic.
+    """
+    byz_tids = frozenset(byz_tids)
+    byz_addrs = frozenset(byz_addrs)
+    state = {}
+    last_writer = {}
+
+    def current(addr):
+        return state.get(addr, initial_words[addr] if addr < len(initial_words) else 0)
+
+    byz_reads = 0
+    innocent_reads = 0
+    corrupted_tids = set()
+    examples = []
+
+    def note(kind, is_byz, text):
+        if len(examples) < max_examples:
+            examples.append("%s[%s]: %s"
+                            % (kind, "byz" if is_byz else "innocent", text))
+
+    for record in sorted(history, key=lambda r: _sort_key(r) + (r.tid,)):
+        own_writes = record.writes
+        is_byz = record.tid in byz_tids
+        for addr, observed in record.reads:
+            expected = current(addr)
+            if observed != expected:
+                if addr in own_writes and observed == own_writes[addr]:
+                    continue
+                if is_byz:
+                    byz_reads += 1
+                else:
+                    innocent_reads += 1
+                    corrupted_tids.add(record.tid)
+                note("read", is_byz,
+                     "tx tid=%d version=%s addr=%d saw %d, serialized "
+                     "state holds %d"
+                     % (record.tid, record.version, addr, observed, expected))
+                break  # one violation corrupts the whole transaction
+        for addr, value in own_writes.items():
+            state[addr] = value
+            last_writer[addr] = record.tid
+
+    byz_divergence = 0
+    innocent_divergence = 0
+    for addr, value in state.items():
+        device_value = final_mem.read(addr)
+        if device_value != value:
+            is_byz = addr in byz_addrs or last_writer.get(addr) in byz_tids
+            if is_byz:
+                byz_divergence += 1
+            else:
+                innocent_divergence += 1
+            note("final", is_byz,
+                 "addr=%d: replay gives %d, device holds %d"
+                 % (addr, value, device_value))
+
+    return {
+        "checked": len(history),
+        "byz_read_violations": byz_reads,
+        "innocent_read_violations": innocent_reads,
+        "byz_divergence": byz_divergence,
+        "innocent_divergence": innocent_divergence,
+        "corrupted_innocent_txs": len(corrupted_tids),
+        "blast_radius": innocent_reads + innocent_divergence,
+        "examples": examples,
+    }
+
+
 def committed_writer_versions(history):
     """All writer commit versions (used to assert uniqueness in tests)."""
     return [record.version for record in history if record.writes]

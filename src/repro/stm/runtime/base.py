@@ -188,3 +188,19 @@ class TxThread:
         sanitizer = self.runtime.sanitizer
         if sanitizer is not None:
             sanitizer.on_tx_read(self, addr)
+
+    def _filter_validation(self, stage, verdict):
+        """The byzantine validation seam: every read-set validation
+        verdict (TBV/VBV, at ``stage`` "read", "precommit" or "commit")
+        passes through here before the runtime acts on it.  An armed
+        :class:`~repro.faults.byzantine.ByzantineInjector` may flip a
+        failing verdict for a lying lane; crash/protocol injectors and
+        disarmed devices leave it untouched.  Passing verdicts short-
+        circuit — honest fast paths pay one truth test.
+        """
+        if verdict:
+            return verdict
+        injector = self.runtime.device.fault_injector
+        if injector is None:
+            return verdict
+        return injector.filter_validation(self, stage, verdict)

@@ -219,6 +219,7 @@ class LockSortingTx(TxThread):
             else:
                 # Pure TBV: a stale snapshot is a conflict, full stop.
                 consistent = False
+            consistent = self._filter_validation("read", consistent)
             if not consistent:
                 self.is_opaque = False  # tx should be aborted (line 33)
                 runtime.stats.add("postvalidation_failures")
@@ -306,6 +307,7 @@ class LockSortingTx(TxThread):
                 # Optional pre-locking VBV (line 71): filter doomed
                 # transactions before they contend for locks.
                 valid = yield from self._vbv(Phase.COMMIT)
+                valid = self._filter_validation("precommit", valid)
                 if not valid:
                     return (yield from self._abort("validation"))
             acquired = yield from self._get_locks_and_tbv()
@@ -373,6 +375,7 @@ class LockSortingTx(TxThread):
             else:
                 # Pure TBV: a stale timestamp IS a conflict.
                 valid = False
+            valid = self._filter_validation("commit", valid)
             if valid:
                 runtime.stats.add("hv_commit_saves")
             else:

@@ -122,6 +122,7 @@ class VbvTx(TxThread):
             if seq & 1:
                 seq = yield from self._wait_even()
             consistent = yield from self._validate()
+            consistent = self._filter_validation("read", consistent)
             if not consistent:
                 self.is_opaque = False
                 runtime.stats.add("postvalidation_failures")
@@ -160,6 +161,7 @@ class VbvTx(TxThread):
             if seq & 1:
                 seq = yield from self._wait_even()
             consistent = yield from self._validate()
+            consistent = self._filter_validation("commit", consistent)
             if not consistent:
                 return (yield from self._abort("validation"))
             self.snapshot = seq

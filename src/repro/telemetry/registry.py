@@ -14,7 +14,9 @@ Three instrument kinds cover the harness's needs:
   aggregation of ``run_jobs`` sweeps exact: the merged total equals the sum
   of the per-worker totals.
 * :class:`Gauge` — a point-in-time value (queue depth, clock value,
-  watchdog snapshot field).  Merging keeps the last set value.
+  watchdog snapshot field).  Merging keeps the last set value, except for
+  names under ``MIN_GAUGE_PREFIXES`` (first-violation cycles) which keep
+  the minimum across workers.
 * :class:`Histogram` — a power-of-two-bucketed distribution (transaction
   footprint sizes, kernel cycle counts).  Merging sums per-bucket counts.
 
@@ -24,6 +26,10 @@ registries back to the parent.
 """
 
 import json
+
+#: Gauge-name prefixes merged with min() instead of last-writer-wins:
+#: "cycle of the first X" only aggregates meaningfully as the earliest.
+MIN_GAUGE_PREFIXES = ("sanitizer.first_violation.",)
 
 
 def metric_name(*parts):
@@ -201,12 +207,22 @@ class MetricRegistry:
 
     def merge(self, other):
         """Accumulate another registry: counters sum, gauges keep the
-        incoming value when set, histograms merge bucket-wise."""
+        incoming value when set, histograms merge bucket-wise.
+
+        Gauges under ``MIN_GAUGE_PREFIXES`` (first-violation cycles) take
+        the *minimum* of both sides instead: "earliest detection" is the
+        only merge that means anything across workers.
+        """
         for name, counter in other._counters.items():
             self.counter(name).add(counter.value)
         for name, gauge in other._gauges.items():
             if gauge.value is not None:
-                self.gauge(name).set(gauge.value)
+                mine = self.gauge(name)
+                if (mine.value is not None
+                        and name.startswith(MIN_GAUGE_PREFIXES)
+                        and mine.value <= gauge.value):
+                    continue
+                mine.set(gauge.value)
         for name, histogram in other._histograms.items():
             self.histogram(name).merge(histogram)
 

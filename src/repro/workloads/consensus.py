@@ -1,0 +1,132 @@
+"""CNS — single-shot wait-free consensus objects over the STM substrate.
+
+The workload of "Byzantine-Tolerant Consensus in GPU-Inspired Shared
+Memory" (PAPERS.md, arXiv 2503.12788): every thread proposes a value for
+each of a handful of shared *consensus objects* and must *decide* — agree
+with every other thread on exactly one of the proposed values.  On top of
+transactional memory the object is one shared word per object (0 =
+undecided sentinel): a thread transactionally reads the word, writes its
+own proposal if still undecided, and adopts whatever value the word holds
+at its serialization point.  The STM gives the compare-and-decide step
+atomicity, so *agreement* (all threads decide the same value) and
+*validity* (the decision is some thread's proposal) are exact invariants
+— which is what makes this the byzantine-containment workload: a lying
+lane that double-decides or resurrects an overwritten proposal breaks
+agreement in a way :func:`verify` and the oracle catch immediately.
+
+Each thread records its decided value per object in a private out-cell
+(written non-transactionally: the cell has exactly one writer), so
+``verify`` can check agreement across *observations*, not just the final
+object words.  Every transaction commits (deciders write, observers are
+read-only), so ``expected_commits`` is exact like every other workload.
+"""
+
+from repro.common.rng import Xorshift32, thread_seed
+from repro.gpu.events import Phase
+from repro.stm.api import run_transaction
+from repro.workloads.base import KernelSpec, Workload
+
+
+class Consensus(Workload):
+    """Single-shot consensus: ``objects`` shared decision words."""
+
+    name = "cns"
+    title = "consensus objects"
+
+    def __init__(self, objects=4, grid=2, block=16, native_work=2, seed=2503):
+        if objects < 1:
+            raise ValueError("objects must be >= 1")
+        self.objects = objects
+        self.grid = grid
+        self.block = block
+        self.native_work = native_work
+        self.seed = seed
+        self.decisions = None
+        self.observed = None
+
+    def setup(self, device):
+        self.decisions = device.mem.alloc(self.objects, "cns_objects", fill=0)
+        self.observed = device.mem.alloc(
+            self.grid * self.block * self.objects, "cns_observed", fill=0
+        )
+
+    @property
+    def shared_data_size(self):
+        return self.objects
+
+    def expected_commits(self):
+        return self.grid * self.block * self.objects
+
+    def _proposal(self, tid, index):
+        """The thread's seeded nonzero proposal for object ``index``."""
+        rng = Xorshift32(thread_seed(self.seed, tid * self.objects + index))
+        return 1 + rng.randrange(1 << 20)
+
+    def kernels(self):
+        decisions = self.decisions
+        observed = self.observed
+        objects = self.objects
+        native = self.native_work
+        workload = self
+
+        def kernel(tc):
+            base_out = observed + tc.tid * objects
+            for index in range(objects):
+                proposal = workload._proposal(tc.tid, index)
+                cell = decisions + index
+                result = {}
+
+                def body(stm):
+                    value = yield from stm.tx_read(cell)
+                    if not stm.is_opaque:
+                        return False
+                    if value == 0:
+                        yield from stm.tx_write(cell, proposal)
+                        value = proposal
+                    result["decided"] = value
+                    return True
+
+                yield from run_transaction(tc, body)
+                # private out-cell: one writer, non-transactional
+                tc.gwrite(base_out + index, result["decided"], Phase.NATIVE)
+                yield
+                if native:
+                    tc.work(native, Phase.NATIVE)
+                    yield
+
+        return [KernelSpec("cns", kernel, self.grid, self.block)]
+
+    def verify(self, device, runtime):
+        threads = self.grid * self.block
+        decided = device.mem.snapshot(self.decisions, self.objects)
+        observed = device.mem.snapshot(self.observed, threads * self.objects)
+        for index, decision in enumerate(decided):
+            if decision == 0:
+                raise AssertionError(
+                    "CNS object %d never decided" % index
+                )
+            proposals = {
+                self._proposal(tid, index) for tid in range(threads)
+            }
+            if decision not in proposals:
+                raise AssertionError(
+                    "CNS object %d decided %d, which nobody proposed"
+                    % (index, decision)
+                )
+            disagree = [
+                tid
+                for tid in range(threads)
+                if observed[tid * self.objects + index] != decision
+            ]
+            if disagree:
+                raise AssertionError(
+                    "CNS agreement violated on object %d: decision %d but "
+                    "thread(s) %s observed otherwise"
+                    % (index, decision,
+                       ", ".join(str(t) for t in disagree[:8]))
+                )
+        if runtime.stats["commits"] != self.expected_commits():
+            raise AssertionError(
+                "CNS commit count %d != expected %d"
+                % (runtime.stats["commits"], self.expected_commits())
+            )

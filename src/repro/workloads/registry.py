@@ -1,5 +1,6 @@
 """Workload registry: names → classes, with paper-scaled defaults."""
 
+from repro.workloads.consensus import Consensus
 from repro.workloads.eigenbench import EigenBench
 from repro.workloads.genome import Genome
 from repro.workloads.hashtable import HashTable
@@ -11,9 +12,11 @@ from repro.workloads.random_array import RandomArray
 
 #: name → workload class: the paper's six evaluation programs in
 #: presentation order, plus the service layer's ledger workload (``lg``,
-#: contended account transfers — see docs/service.md) and its
-#: cross-device sibling (``mg``, sharded accounts + remote transfers —
-#: see docs/multigpu.md)
+#: contended account transfers — see docs/service.md), its cross-device
+#: sibling (``mg``, sharded accounts + remote transfers — see
+#: docs/multigpu.md), and the byzantine-containment consensus objects
+#: (``cns``, single-shot wait-free consensus — see
+#: docs/fault_injection.md)
 WORKLOADS = {
     "ra": RandomArray,
     "ht": HashTable,
@@ -23,6 +26,7 @@ WORKLOADS = {
     "km": KMeans,
     "lg": LedgerWorkload,
     "mg": MultiGpuLedger,
+    "cns": Consensus,
 }
 
 

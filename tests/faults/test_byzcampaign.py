@@ -1,0 +1,129 @@
+"""Byzantine campaign: matrix shape, determinism, resume, multi-device."""
+
+import json
+import os
+
+import pytest
+
+from repro.faults.byzcampaign import (
+    device_lane_tids,
+    run_byz_campaign,
+)
+
+FAST = dict(behaviors=["lie_validation", "lock_hoard"],
+            variants=["cgl", "hv-sorting"])
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    return run_byz_campaign(**FAST)
+
+
+class TestMatrixShape:
+    def test_cells_cover_every_behavior_and_variant(self, small_matrix):
+        assert sorted(small_matrix["cells"]) == sorted(FAST["behaviors"])
+        for behavior in FAST["behaviors"]:
+            assert sorted(small_matrix["cells"][behavior]) == sorted(
+                FAST["variants"]
+            )
+
+    def test_every_cell_contained_or_detected(self, small_matrix):
+        for row in small_matrix["cells"].values():
+            for cell in row.values():
+                assert cell["classification"] in (
+                    "immune", "contained", "detected",
+                )
+
+    def test_containment_differs_across_variants(self, small_matrix):
+        # lie_validation: no validation phase to lie in on CGL, a real
+        # (contained) lie on the hash-table-validation variants
+        row = small_matrix["cells"]["lie_validation"]
+        assert row["cgl"]["classification"] == "immune"
+        assert row["hv-sorting"]["classification"] == "contained"
+
+    def test_detected_cells_carry_finite_latency(self, small_matrix):
+        row = small_matrix["cells"]["lock_hoard"]
+        for cell in row.values():
+            assert cell["classification"] == "detected"
+            assert cell["detected_by"] == "lock_leak"
+            assert cell["detection_latency"] >= 0
+
+    def test_baselines_clean_and_ok(self, small_matrix):
+        assert sorted(small_matrix["baselines"]) == sorted(FAST["variants"])
+        for cell in small_matrix["baselines"].values():
+            assert cell["classification"] == "contained"
+            assert cell["failure"] is None
+        assert small_matrix["ok"] is True
+        assert small_matrix["escapees"] == []
+
+    def test_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown behavior"):
+            run_byz_campaign(behaviors=["crash"], variants=["cgl"])
+        with pytest.raises(ValueError, match="unknown variant"):
+            run_byz_campaign(behaviors=["lock_hoard"], variants=["zzz"])
+
+
+class TestDeterminism:
+    def test_bit_identical_across_jobs(self, small_matrix):
+        wide = run_byz_campaign(jobs=2, **FAST)
+        assert json.dumps(wide, sort_keys=True) == json.dumps(
+            small_matrix, sort_keys=True
+        )
+
+    def test_bit_identical_across_journal_resume(self, small_matrix,
+                                                 tmp_path):
+        journal = str(tmp_path / "byz.journal")
+        first = run_byz_campaign(journal=journal, **FAST)
+        assert os.path.exists(journal)
+        resumed = run_byz_campaign(journal=journal, **FAST)
+        dump = lambda m: json.dumps(m, sort_keys=True)  # noqa: E731
+        assert dump(first) == dump(small_matrix)
+        assert dump(resumed) == dump(small_matrix)
+
+
+class TestMultiDevice:
+    def test_device_lane_tids_follow_block_placement(self):
+        # explore geometry: 2 SMs per device; blocks round-robin over the
+        # 4 SMs of a 2-device topology, so blocks 2 and 3 land on device 1
+        assert device_lane_tids(4, 16, 1, 2, 2) == (32, 48)
+        assert device_lane_tids(4, 16, 0, 2, 2) == (0, 16)
+
+    def test_byzantine_remote_device_cell(self):
+        matrix = run_byz_campaign(
+            behaviors=["torn_publish"], variants=["hv-sorting"],
+            devices=2, params=dict(objects=4, grid=4, block=16),
+        )
+        cell = matrix["cells"]["torn_publish"]["hv-sorting"]
+        assert matrix["byz_device"] == 1
+        # the remote liar's spec pins the lanes that live on device 1
+        assert cell["spec"] == "torn_publish:tids=32+48"
+        assert cell["classification"] in ("contained", "detected")
+        assert matrix["ok"] is True
+
+    def test_empty_remote_lane_set_is_an_error(self):
+        with pytest.raises(ValueError, match="no byzantine lanes"):
+            run_byz_campaign(
+                behaviors=["torn_publish"], variants=["cgl"],
+                devices=2, params=dict(objects=4, grid=2, block=16),
+            )
+
+
+class TestCli:
+    def test_main_writes_matrix_and_exits_zero(self, tmp_path, capsys):
+        from repro.faults.byzcampaign import main
+
+        out = str(tmp_path / "byz")
+        rc = main(["--behaviors", "lock_hoard", "--variants", "cgl",
+                   "--out", out])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "matrix ok: yes" in printed
+        matrix = json.load(open(os.path.join(out, "byz_matrix.json")))
+        assert matrix["cells"]["lock_hoard"]["cgl"]["classification"] == (
+            "detected"
+        )
+
+    def test_dispatcher_knows_byz(self):
+        from repro.__main__ import _SUBCOMMANDS
+
+        assert "byz" in {name for name, _m, _d in _SUBCOMMANDS}

@@ -125,3 +125,34 @@ class TestDeterminism:
             return result.cycles, injector.fired, list(dev.mem.words)
 
         assert run() == run()
+
+
+class TestParseHardening:
+    """CLI-token validation: bad specs must name the offending token."""
+
+    def test_duplicate_key_rejected_by_name(self):
+        with pytest.raises(ValueError, match="duplicate fault option 'count'"):
+            FaultSpec.parse("stale_read:count=1,count=2")
+
+    def test_non_integer_skip_names_token(self):
+        with pytest.raises(ValueError, match="skip=soon .*not an integer"):
+            FaultSpec.parse("stale_read:skip=soon")
+
+    def test_non_integer_count_names_token(self):
+        with pytest.raises(ValueError, match="count=3.5 .*not an integer"):
+            FaultSpec.parse("stale_read:count=3.5")
+
+    def test_hex_and_spaces_still_accepted(self):
+        spec = FaultSpec.parse("torn_write: region = data , param = 0x1f ")
+        assert spec.region == "data"
+        assert spec.param == 0x1F
+
+    def test_parse_round_trips_through_repr_fields(self):
+        for text in (
+            "stale_read:region=data,skip=3,count=2",
+            "torn_write:region=g_lockTab,param=0xff,tid=7",
+            "clock_skew:region=g_clock,count=2",
+        ):
+            spec = FaultSpec.parse(text)
+            clone = FaultSpec(**spec.as_dict())
+            assert clone.as_dict() == spec.as_dict()

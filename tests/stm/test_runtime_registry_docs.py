@@ -39,7 +39,8 @@ class TestRegistryCoherence:
         assert callable(repro.make_runtime)
         assert callable(repro.run_transaction)
         assert callable(repro.make_workload)
-        assert set(repro.WORKLOADS) == {"ra", "ht", "eb", "lb", "gn", "km", "lg", "mg"}
+        assert set(repro.WORKLOADS) == {"ra", "ht", "eb", "lb", "gn", "km",
+                                        "lg", "mg", "cns"}
 
     def test_per_thread_transaction_flag(self):
         """Only EGPGV lacks per-thread transactions — the paper's central

@@ -156,3 +156,46 @@ def test_merge_sums_counters_property(worker_counters):
     for name in {k for c in worker_counters for k in c}:
         expected = sum(c.get(name, 0) for c in worker_counters)
         assert merged.counters_dict().get(name, 0) == expected
+
+
+class TestFirstViolationGauges:
+    """sanitizer.first_violation.* merges with min() across workers:
+    "cycle of the first violation" only aggregates as the earliest."""
+
+    NAME = "sanitizer.first_violation.lock_leak"
+
+    def test_merge_keeps_earliest_cycle(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.set_gauge(self.NAME, 500)
+        b.set_gauge(self.NAME, 300)
+        a.merge(b)
+        assert a.gauges_dict()[self.NAME] == 300
+
+    def test_merge_keeps_own_earlier_cycle(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.set_gauge(self.NAME, 200)
+        b.set_gauge(self.NAME, 900)
+        a.merge(b)
+        assert a.gauges_dict()[self.NAME] == 200
+
+    def test_merge_adopts_value_when_unset(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        b.set_gauge(self.NAME, 700)
+        a.merge(b)
+        assert a.gauges_dict()[self.NAME] == 700
+
+    def test_ordinary_gauges_still_overwrite(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.set_gauge("sanitizer.other", 100)
+        b.set_gauge("sanitizer.other", 900)
+        a.merge(b)
+        assert a.gauges_dict()["sanitizer.other"] == 900
+
+    def test_min_merge_survives_json_round_trip(self):
+        # exactly what crosses the worker process boundary
+        merged = MetricRegistry()
+        for cycle in (800, 150, 400):
+            worker = MetricRegistry()
+            worker.set_gauge(self.NAME, cycle)
+            merged.merge(MetricRegistry.from_dict(worker.as_dict()))
+        assert merged.gauges_dict()[self.NAME] == 150

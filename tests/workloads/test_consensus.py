@@ -1,0 +1,89 @@
+"""CNS consensus objects: agreement, validity, exact commit accounting."""
+
+import pytest
+
+from repro.gpu import Device
+from repro.harness.configs import test_workload_params as params_for
+from repro.harness.configs import unit_gpu
+from repro.harness.runner import run_workload
+from repro.stm import StmConfig, make_runtime
+from repro.workloads import make_workload
+from repro.workloads.consensus import Consensus
+
+
+def _run_manual(variant, objects=2, grid=1, block=8):
+    """Set up and run CNS by hand so tests can inspect/corrupt memory."""
+    workload = Consensus(objects=objects, grid=grid, block=block)
+    device = Device(unit_gpu())
+    workload.setup(device)
+    config = StmConfig(num_locks=16,
+                       shared_data_size=workload.shared_data_size)
+    runtime = make_runtime(variant, device, config)
+    for spec in workload.kernels():
+        device.launch(spec.kernel, spec.grid, spec.block, args=spec.args,
+                      attach=runtime.attach)
+    return workload, device, runtime
+
+
+class TestRegistration:
+    def test_cns_is_registered_with_test_params(self):
+        workload = make_workload("cns", **params_for("cns"))
+        assert isinstance(workload, Consensus)
+
+    def test_rejects_degenerate_objects(self):
+        with pytest.raises(ValueError, match="objects"):
+            Consensus(objects=0)
+
+
+class TestProposals:
+    def test_proposals_deterministic_and_nonzero(self):
+        workload = Consensus(objects=4)
+        for tid in range(8):
+            for index in range(4):
+                value = workload._proposal(tid, index)
+                assert value >= 1
+                assert workload._proposal(tid, index) == value
+
+    def test_proposals_differ_across_threads(self):
+        workload = Consensus(objects=1)
+        values = {workload._proposal(tid, 0) for tid in range(32)}
+        assert len(values) > 16  # seeded variety, not one shared value
+
+
+@pytest.mark.parametrize("variant", ["cgl", "vbv", "hv-sorting", "optimized"])
+def test_cns_runs_and_verifies(variant):
+    workload = make_workload("cns", **params_for("cns"))
+    result = run_workload(workload, variant, unit_gpu(), num_locks=64,
+                          check_oracle=True)
+    assert not result.crashed
+    assert result.commits == workload.expected_commits()
+
+
+class TestVerifyInvariants:
+    def test_clean_run_passes(self):
+        workload, device, runtime = _run_manual("vbv")
+        workload.verify(device, runtime)
+
+    def test_every_transaction_commits(self):
+        workload, _device, runtime = _run_manual("vbv")
+        assert runtime.stats["commits"] == workload.expected_commits()
+
+    def test_disagreeing_observation_is_caught(self):
+        workload, device, runtime = _run_manual("vbv")
+        # observer 0's out-cell for object 0: claim it saw "undecided"
+        device.mem.write(workload.observed, 0)
+        with pytest.raises(AssertionError, match="agreement violated"):
+            workload.verify(device, runtime)
+
+    def test_unproposed_decision_is_caught(self):
+        workload, device, runtime = _run_manual("vbv")
+        # a decision nobody proposed breaks validity
+        device.mem.write(workload.decisions, (1 << 21) + 1)
+        with pytest.raises(AssertionError, match="nobody proposed"):
+            workload.verify(device, runtime)
+
+    def test_undecided_object_is_caught(self):
+        workload, device, runtime = _run_manual("vbv")
+        device.mem.write(workload.decisions, 0)
+        with pytest.raises(AssertionError, match="never decided"):
+            workload.verify(device, runtime)

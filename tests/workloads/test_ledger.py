@@ -18,7 +18,9 @@ from repro.workloads.ledger import (
 class TestRegistryRoster:
     def test_roster_is_pinned(self):
         """Adding a workload must update this test: the roster is API."""
-        assert workload_names() == ("eb", "gn", "ht", "km", "lb", "lg", "mg", "ra")
+        assert workload_names() == (
+            "cns", "eb", "gn", "ht", "km", "lb", "lg", "mg", "ra",
+        )
 
     def test_listing_is_sorted_and_stable(self):
         assert list(workload_names()) == sorted(WORKLOADS)
